@@ -1,0 +1,117 @@
+// Google-benchmark microbenches of the kernels on FedCA's hot paths:
+// GEMM (local SGD), statistical progress (Eq. 1), profiler recording,
+// link/event-queue throughput, and speed-timeline integration.
+#include <benchmark/benchmark.h>
+
+#include "core/progress.hpp"
+#include "core/sampling_profiler.hpp"
+#include "nn/models.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "tensor/ops.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fedca;
+
+tensor::Tensor randn(tensor::Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  tensor::Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  return t;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const tensor::Tensor a = randn({n, n}, 1);
+  const tensor::Tensor b = randn({n, n}, 2);
+  tensor::Tensor c({n, n});
+  for (auto _ : state) {
+    tensor::gemm(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_StatisticalProgress(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const tensor::Tensor gi = randn({n}, 3);
+  const tensor::Tensor gk = randn({n}, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::statistical_progress(gi.data(), gk.data()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_StatisticalProgress)->Arg(1024)->Arg(65536);
+
+void BM_ProfilerRecordIteration(benchmark::State& state) {
+  util::Rng rng(5);
+  nn::Classifier model = nn::build_model(nn::ModelKind::kCnn, rng);
+  core::SamplingProfiler profiler(core::ProfilerOptions{}, util::Rng(6));
+  profiler.begin_round(0, model.state());
+  for (auto _ : state) {
+    profiler.record_iteration(model.backbone());
+  }
+  state.counters["sampled_params"] =
+      static_cast<double>(profiler.sampled_param_count());
+}
+BENCHMARK(BM_ProfilerRecordIteration);
+
+void BM_CnnTrainingIteration(benchmark::State& state) {
+  util::Rng rng(7);
+  nn::Classifier model = nn::build_model(nn::ModelKind::kCnn, rng);
+  const nn::InputGeometry geo = nn::default_geometry(nn::ModelKind::kCnn);
+  tensor::Tensor input = randn({10, geo.channels, geo.height, geo.width}, 8);
+  const std::vector<int> labels{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.compute_gradients(input, labels));
+  }
+}
+BENCHMARK(BM_CnnTrainingIteration);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 1024; ++i) {
+      q.schedule(static_cast<double>((i * 37) % 997), [&sink] { ++sink; });
+    }
+    q.run_until_empty();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void BM_LinkTransmit(benchmark::State& state) {
+  sim::Link link(13.7);
+  double t = 0.0;
+  for (auto _ : state) {
+    const sim::Transfer tr = link.transmit(t, 240e3);
+    t = tr.end;
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_LinkTransmit);
+
+void BM_SpeedTimelineFinish(benchmark::State& state) {
+  trace::DynamicityOptions dyn;
+  trace::SpeedTimeline timeline(1.0, dyn, util::Rng(9));
+  double t = 0.0;
+  for (auto _ : state) {
+    t = timeline.finish_time(t, 0.1);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_SpeedTimelineFinish);
+
+}  // namespace
+
+BENCHMARK_MAIN();

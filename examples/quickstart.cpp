@@ -1,0 +1,59 @@
+// Quickstart: train a federated CNN with FedCA and compare against FedAvg.
+//
+// Demonstrates the one-call experiment API:
+//   1. describe the workload (model, clients, non-IID alpha, K, batch),
+//   2. build a scheme from the factory,
+//   3. run_experiment() — returns the accuracy-vs-virtual-time curve and
+//      per-round behaviour.
+//
+// Usage: quickstart [key=value ...]
+//   e.g. quickstart model=cnn clients=16 rounds=30 target=0.5 seed=7
+#include <iostream>
+
+#include "core/factory.hpp"
+#include "fl/experiment.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+
+using namespace fedca;
+
+int main(int argc, char** argv) {
+  util::Config config = util::Config::from_args(argc, argv);
+
+  fl::ExperimentOptions options;
+  options.model = nn::parse_model_kind(config.get_string("model", "cnn"));
+  options.num_clients = static_cast<std::size_t>(config.get_int("clients", 12));
+  options.local_iterations = static_cast<std::size_t>(config.get_int("k", 25));
+  options.batch_size = static_cast<std::size_t>(config.get_int("batch", 10));
+  options.dirichlet_alpha = config.get_double("alpha", 0.1);
+  options.train_samples = static_cast<std::size_t>(config.get_int("samples", 1500));
+  options.test_samples = static_cast<std::size_t>(config.get_int("test_samples", 256));
+  options.max_rounds = static_cast<std::size_t>(config.get_int("rounds", 25));
+  options.target_accuracy = config.get_double("target", 0.0);
+  options.optimizer.learning_rate = config.get_double("lr", 0.05);
+  options.seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+  // Profile early and often at quickstart scale so FedCA's knowledge kicks
+  // in within a short demo run.
+  config.set("fedca_period", config.get_string("fedca_period", "5"));
+
+  util::print_section(std::cout, "FedCA quickstart", config.dump());
+
+  util::Table table({"scheme", "rounds", "virtual time (s)", "final accuracy",
+                     "mean round (s)", "early stops", "eager layers"});
+  for (const std::string& scheme_name : {std::string("fedavg"), std::string("fedca")}) {
+    auto scheme = core::make_scheme(scheme_name, config, options.seed);
+    const fl::ExperimentResult result = fl::run_experiment(options, *scheme);
+    table.add_row({result.scheme_name, std::to_string(result.rounds.size()),
+                   util::Table::fmt(result.total_time, 1),
+                   util::Table::fmt(result.final_accuracy, 3),
+                   util::Table::fmt(result.mean_round_seconds, 2),
+                   std::to_string(result.early_stop_iterations().size()),
+                   std::to_string(result.eager_iterations(false).size())});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nFedCA trims straggler iterations (early stops) and overlaps\n"
+               "communication of stabilized layers (eager transmissions), so its\n"
+               "virtual-time-per-round is lower at comparable accuracy.\n";
+  return 0;
+}

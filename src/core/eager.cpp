@@ -1,0 +1,52 @@
+#include "core/eager.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace fedca::core {
+
+std::vector<std::size_t> layers_to_transmit(const std::vector<ProgressCurve>& layer_curves,
+                                            std::size_t tau,
+                                            const std::vector<bool>& sent,
+                                            const EagerOptions& options) {
+  std::vector<std::size_t> out;
+  if (!options.enabled) return out;
+  if (sent.size() != layer_curves.size()) {
+    throw std::invalid_argument("layers_to_transmit: sent flags size mismatch");
+  }
+  for (std::size_t layer = 0; layer < layer_curves.size(); ++layer) {
+    if (sent[layer]) continue;
+    if (curve_at(layer_curves[layer], tau) >= options.stabilize_threshold) {
+      out.push_back(layer);
+    }
+  }
+  return out;
+}
+
+bool needs_retransmission(const tensor::Tensor& final_layer_update,
+                          const tensor::Tensor& eager_value,
+                          const EagerOptions& options) {
+  if (!options.retransmit) return false;
+  const double cosine =
+      tensor::cosine_similarity(final_layer_update.data(), eager_value.data());
+  return cosine < options.retransmit_threshold;
+}
+
+std::vector<std::size_t> select_retransmissions(const nn::ModelState& final_update,
+                                                const std::vector<fl::EagerRecord>& eager,
+                                                const EagerOptions& options) {
+  std::vector<std::size_t> out;
+  if (!options.retransmit) return out;
+  for (const fl::EagerRecord& record : eager) {
+    if (record.layer >= final_update.tensors.size()) {
+      throw std::invalid_argument("select_retransmissions: layer index out of range");
+    }
+    if (needs_retransmission(final_update.tensors[record.layer], record.value, options)) {
+      out.push_back(record.layer);
+    }
+  }
+  return out;
+}
+
+}  // namespace fedca::core

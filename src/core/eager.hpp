@@ -1,0 +1,52 @@
+// Eager transmission with error feedback (Sec. 4.3, Eqs. 5-6).
+//
+// A layer whose profiled progress curve crosses the stabilization
+// threshold T_e is considered early-converged: its accumulated update will
+// barely change for the rest of the round, so the client ships it
+// immediately and overlaps the transfer with the remaining computation
+// (Fig. 6). Because the trigger uses the *anchor-round* curve, the
+// diagnosis can be wrong for the current round; the error-feedback check
+// compares the value that was actually sent against the final one and
+// retransmits when their cosine similarity falls below T_r.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/progress.hpp"
+#include "fl/types.hpp"
+#include "nn/state.hpp"
+
+namespace fedca::core {
+
+struct EagerOptions {
+  bool enabled = true;
+  // Stabilization threshold T_e (Eq. 5; paper default 0.95).
+  double stabilize_threshold = 0.95;
+  // Error-feedback retransmission enabled (FedCA-v3; off reproduces the
+  // accuracy-losing FedCA-v2 of the Fig. 9 ablation).
+  bool retransmit = true;
+  // Retransmission threshold T_r (Eq. 6; paper default 0.6).
+  double retransmit_threshold = 0.6;
+};
+
+// Eq. 5 — layers whose profiled curve has crossed T_e by iteration `tau`
+// and which have not been sent yet. `sent` flags are indexed by layer.
+std::vector<std::size_t> layers_to_transmit(const std::vector<ProgressCurve>& layer_curves,
+                                            std::size_t tau,
+                                            const std::vector<bool>& sent,
+                                            const EagerOptions& options);
+
+// Eq. 6 — true when the eagerly-sent value deviates from the final update
+// enough to require retransmission:
+//   Sim_cos(G_l, G_l^eager) < T_r.
+bool needs_retransmission(const tensor::Tensor& final_layer_update,
+                          const tensor::Tensor& eager_value,
+                          const EagerOptions& options);
+
+// Applies Eq. 6 over a round's eager records against the final update.
+std::vector<std::size_t> select_retransmissions(const nn::ModelState& final_update,
+                                                const std::vector<fl::EagerRecord>& eager,
+                                                const EagerOptions& options);
+
+}  // namespace fedca::core

@@ -1,0 +1,63 @@
+// The FedCA client policy — where client autonomy lives.
+//
+// One instance per client, persistent across rounds. Responsibilities:
+//   * run the periodical-sampling profiler during anchor rounds (in which
+//     no optimization fires, per footnote 3 of the paper);
+//   * between anchors, consult the profiled curves after every local
+//     iteration to (a) eagerly transmit stabilized layers (Eq. 5) and
+//     (b) early-stop when net benefit turns negative (Eqs. 2-4);
+//   * at round end, select retransmissions via error feedback (Eq. 6).
+#pragma once
+
+#include "core/eager.hpp"
+#include "core/sampling_profiler.hpp"
+#include "core/utility.hpp"
+#include "fl/scheme.hpp"
+
+namespace fedca::core {
+
+// Intra-round adaptive learning rate — the client-autonomy extension the
+// paper sketches as future work (Sec. 6: clients "autonomously adjust
+// these hyper-parameters within a training round"). When the profiled
+// marginal benefit of the upcoming iteration drops below
+// `benefit_threshold`, the client scales its local learning rate by
+// `decay` for the rest of the round: once the accumulated update's
+// direction has stabilized, smaller steps refine it instead of
+// oscillating around the local optimum.
+struct AdaptiveLrOptions {
+  bool enabled = false;
+  double benefit_threshold = 0.01;
+  double decay = 0.5;
+};
+
+struct FedCaOptions {
+  EarlyStopOptions early_stop;
+  EagerOptions eager;
+  ProfilerOptions profiler;
+  AdaptiveLrOptions adaptive_lr;
+};
+
+class FedCaClientPolicy : public fl::ClientPolicy {
+ public:
+  FedCaClientPolicy(FedCaOptions options, util::Rng rng);
+
+  void on_round_start(const fl::RoundInfo& round, const nn::ModelState& global) override;
+  fl::IterationDecision after_iteration(const fl::IterationView& view) override;
+  std::vector<std::size_t> select_retransmissions(
+      const nn::ModelState& final_update,
+      const std::vector<fl::EagerRecord>& eager) override;
+  void on_round_end(const fl::RoundInfo& round) override;
+
+  const SamplingProfiler& profiler() const { return profiler_; }
+  const FedCaOptions& options() const { return options_; }
+
+ private:
+  FedCaOptions options_;
+  SamplingProfiler profiler_;
+  // Per-round scratch.
+  bool anchor_round_ = false;
+  bool lr_decayed_ = false;
+  std::vector<bool> eager_sent_;
+};
+
+}  // namespace fedca::core

@@ -1,0 +1,49 @@
+#include "core/progress.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace fedca::core {
+
+double statistical_progress(std::span<const float> accumulated,
+                            std::span<const float> full_round) {
+  const double cosine = tensor::cosine_similarity(accumulated, full_round);
+  const double magnitude = tensor::magnitude_similarity(accumulated, full_round);
+  return cosine * magnitude;
+}
+
+ProgressCurve curve_from_snapshots(const std::vector<std::vector<float>>& snapshots) {
+  if (snapshots.empty()) return {};
+  const std::vector<float>& full = snapshots.back();
+  ProgressCurve curve;
+  curve.reserve(snapshots.size());
+  for (const auto& snapshot : snapshots) {
+    if (snapshot.size() != full.size()) {
+      throw std::invalid_argument("curve_from_snapshots: snapshot size mismatch");
+    }
+    curve.push_back(statistical_progress(snapshot, full));
+  }
+  return curve;
+}
+
+double curve_at(const ProgressCurve& curve, std::size_t tau) {
+  if (tau == 0 || curve.empty()) return 0.0;
+  if (tau > curve.size()) tau = curve.size();
+  return curve[tau - 1];
+}
+
+double marginal_benefit(const ProgressCurve& curve, std::size_t tau,
+                        std::size_t total_iterations) {
+  if (tau == 0) throw std::invalid_argument("marginal_benefit: tau is 1-based");
+  const double p_tau = curve_at(curve, tau);
+  const double p_prev = curve_at(curve, tau - 1);
+  const double diff = p_tau - p_prev;
+  double lower_bound = 0.0;
+  if (tau < total_iterations) {
+    lower_bound = (1.0 - p_tau) / static_cast<double>(total_iterations - tau);
+  }
+  return diff > lower_bound ? diff : lower_bound;
+}
+
+}  // namespace fedca::core

@@ -1,0 +1,43 @@
+// Statistical progress — the paper's core metric (Sec. 3.2.1, Eq. 1).
+//
+//   P_i = Sim_cos(G_i, G_K) * min(||G_i||, ||G_K||) / max(||G_i||, ||G_K||)
+//
+// where G_i is the accumulated local update after i of K local iterations.
+// P_i in [-1, 1] in general, ~[0, 1] along real SGD trajectories, and
+// P_K = 1 exactly. The per-iteration statistical contribution is
+// P_i - P_{i-1}; Eq. 2's marginal-benefit estimate lower-bounds it to
+// survive curve irregularity.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fedca::core {
+
+// Eq. 1 applied to flat vectors (whole model or a single layer).
+double statistical_progress(std::span<const float> accumulated,
+                            std::span<const float> full_round);
+
+// A profiled curve: value at index i is P_{i+1} (progress after local
+// iteration i+1); size() == K. By construction back() == 1 for non-zero
+// updates.
+using ProgressCurve = std::vector<double>;
+
+// Builds the curve from per-iteration snapshots of the accumulated update
+// (snapshots[i] = G_{i+1} as a flat vector). All snapshots must be equal
+// length; the last one is G_K.
+ProgressCurve curve_from_snapshots(const std::vector<std::vector<float>>& snapshots);
+
+// Eq. 2 — marginal benefit of iteration tau (1-based) in a round of K
+// iterations, estimated from the anchor-round curve:
+//   b = max(P_tau - P_{tau-1}, (1 - P_tau) / (K - tau))
+// P_0 := 0. At tau >= K the lower-bound term is 0 (no remaining
+// iterations). Indices beyond the curve clamp to its end.
+double marginal_benefit(const ProgressCurve& curve, std::size_t tau, std::size_t total_iterations);
+
+// Progress value P_tau read off a curve (tau 1-based; tau = 0 gives 0;
+// beyond-the-end clamps).
+double curve_at(const ProgressCurve& curve, std::size_t tau);
+
+}  // namespace fedca::core

@@ -1,0 +1,89 @@
+// Periodical sampling — FedCA's profiling mechanism (Sec. 4.1).
+//
+// Naive profiling (snapshot every parameter after every iteration) would
+// cost ~14 GB for WRN-28; FedCA instead combines:
+//   * Periodical profiling: curves are measured only at *anchor rounds*
+//     (one in `period`, default 10 per Sec. 5.1) and reused for the
+//     following rounds — curves are similar across consecutive rounds
+//     (Fig. 4). Anchor rounds run un-optimized (footnote 3) so the curve
+//     is complete and valid.
+//   * Intra-layer sampling: within an anchor round, only
+//     min(50 %, 100) scalars per layer are recorded — parameters within a
+//     layer evolve at a similar pace (Fig. 5).
+//
+// The profiler yields, per anchor round, one progress curve per layer plus
+// a whole-model curve (computed over the concatenated samples); it also
+// reports its own memory footprint, reproducing the Sec. 5.5 overhead
+// accounting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/progress.hpp"
+#include "nn/module.hpp"
+#include "nn/state.hpp"
+#include "util/rng.hpp"
+
+namespace fedca::core {
+
+struct ProfilerOptions {
+  // Profile once per this many rounds (round r is an anchor iff
+  // r % period == 0, so round 0 bootstraps the curves).
+  std::size_t period = 10;
+  // Per-layer sample budget: min(fraction * layer size, cap), >= 1.
+  double layer_fraction = 0.5;
+  std::size_t layer_cap = 100;
+};
+
+class SamplingProfiler {
+ public:
+  SamplingProfiler(ProfilerOptions options, util::Rng rng);
+
+  const ProfilerOptions& options() const { return options_; }
+  bool is_anchor_round(std::size_t round_index) const;
+  // True once at least one anchor round completed.
+  bool has_curves() const { return !layer_curves_.empty(); }
+
+  // --- anchor-round recording protocol ---
+  // begin_round snapshots w_0 (and fixes sampled indices on first use);
+  // record_iteration appends the sampled accumulated update after one
+  // local iteration; finish_round turns the recordings into curves.
+  void begin_round(std::size_t round_index, const nn::ModelState& round_start);
+  void record_iteration(nn::Module& model);
+  void finish_round();
+  bool recording() const { return recording_; }
+
+  // --- profiled knowledge (valid when has_curves()) ---
+  const std::vector<ProgressCurve>& layer_curves() const { return layer_curves_; }
+  const ProgressCurve& model_curve() const { return model_curve_; }
+  // Round index of the most recent completed anchor profile.
+  std::size_t anchor_round() const { return anchor_round_; }
+
+  // --- overhead accounting (Sec. 5.5) ---
+  // Total sampled scalars across layers (fixed after the first anchor).
+  std::size_t sampled_param_count() const;
+  // Peak profiling memory for a round of `iterations` local iterations.
+  std::size_t profiling_bytes(std::size_t iterations) const;
+
+ private:
+  void ensure_indices(const nn::ModelState& layout);
+
+  ProfilerOptions options_;
+  util::Rng rng_;
+  // Sampled flat indices per layer (chosen once, reused across anchors —
+  // consistent sampling makes curves comparable between anchor rounds).
+  std::vector<std::vector<std::size_t>> indices_;
+  // Recording state.
+  bool recording_ = false;
+  nn::ModelState round_start_;
+  // per layer -> per iteration -> sampled accumulated update
+  std::vector<std::vector<std::vector<float>>> recorded_;
+  // Profiled knowledge.
+  std::vector<ProgressCurve> layer_curves_;
+  ProgressCurve model_curve_;
+  std::size_t anchor_round_ = 0;
+  std::size_t pending_round_ = 0;
+};
+
+}  // namespace fedca::core

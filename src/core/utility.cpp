@@ -1,0 +1,27 @@
+#include "core/utility.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedca::core {
+
+double marginal_cost(double elapsed, double deadline, double beta) {
+  if (elapsed < 0.0) throw std::invalid_argument("marginal_cost: negative elapsed time");
+  if (!(deadline > 0.0) || std::isinf(deadline)) return 0.0;
+  const double f = (elapsed <= deadline) ? beta : 1.0;
+  return f * elapsed / deadline;
+}
+
+bool should_stop_after(const ProgressCurve& model_curve, std::size_t tau,
+                       std::size_t total_iterations, double elapsed, double deadline,
+                       const EarlyStopOptions& options) {
+  if (!options.enabled) return false;
+  if (tau < options.min_iterations) return false;
+  if (tau >= total_iterations) return false;  // round is over anyway
+  if (model_curve.empty()) return false;      // no profiled knowledge yet
+  const double benefit = marginal_benefit(model_curve, tau + 1, total_iterations);
+  const double cost = marginal_cost(elapsed, deadline, options.beta);
+  return net_benefit(benefit, cost) < 0.0;
+}
+
+}  // namespace fedca::core

@@ -1,0 +1,47 @@
+// Early-stopping utility function (Sec. 4.2, Eqs. 2-4).
+//
+// Each local iteration tau of round R is scored:
+//   benefit  b_{R,tau} = max(P_{T,tau} - P_{T,tau-1}, (1-P_{T,tau})/(K-tau))
+//                        — from the anchor-round curve (Eq. 2, in
+//                        progress.hpp),
+//   cost     c_{R,tau} = f * t_{R,tau} / T_R,  f = beta if t <= T_R else 1
+//                        (Eq. 3),
+//   net      n_{R,tau} = b_{R,tau} - c_{R,tau}  (Eq. 4).
+// The client stops local training as soon as n turns negative. Before the
+// deadline the cost rises gently (beta << 1 discourages premature exits);
+// past it the full t/T_R penalty kicks in and stragglers wind down fast.
+#pragma once
+
+#include <cstddef>
+
+#include "core/progress.hpp"
+
+namespace fedca::core {
+
+struct EarlyStopOptions {
+  bool enabled = true;
+  // Marginal-cost ratio before the deadline (beta in Eq. 3; paper default
+  // 0.01, sensitivity-swept over {0.1, 0.01, 0.001} in Fig. 10a).
+  double beta = 0.01;
+  // Never stop before this many local iterations.
+  std::size_t min_iterations = 1;
+};
+
+// Eq. 3. `elapsed` = t_{R,tau}, local training wall-clock so far;
+// `deadline` = T_R (round-relative). An infinite/zero/negative deadline
+// yields zero cost — without an announced T_R there is no basis to
+// penalize computation (the warm-up rounds behave like FedAvg).
+double marginal_cost(double elapsed, double deadline, double beta);
+
+// Eq. 4.
+inline double net_benefit(double benefit, double cost) { return benefit - cost; }
+
+// Full early-stop predicate: should the client halt after finishing
+// iteration `tau` (i.e. decline to run iteration tau + 1)?
+// Evaluates n_{R,tau+1} using the anchor curve for the benefit of the
+// *next* iteration and the elapsed time observed so far for the cost.
+bool should_stop_after(const ProgressCurve& model_curve, std::size_t tau,
+                       std::size_t total_iterations, double elapsed, double deadline,
+                       const EarlyStopOptions& options);
+
+}  // namespace fedca::core

@@ -1,0 +1,75 @@
+#include "data/dataset.hpp"
+
+#include <stdexcept>
+
+namespace fedca::data {
+
+Dataset::Dataset(Tensor inputs, std::vector<int> labels)
+    : inputs_(std::move(inputs)), labels_(std::move(labels)) {
+  if (inputs_.ndim() == 0 && !labels_.empty()) {
+    throw std::invalid_argument("Dataset: empty inputs with nonempty labels");
+  }
+  if (inputs_.ndim() > 0 && inputs_.dim(0) != labels_.size()) {
+    throw std::invalid_argument("Dataset: input batch dim " +
+                                std::to_string(inputs_.dim(0)) + " != label count " +
+                                std::to_string(labels_.size()));
+  }
+}
+
+Shape Dataset::example_shape() const {
+  if (inputs_.ndim() == 0) return {};
+  Shape s(inputs_.shape().begin() + 1, inputs_.shape().end());
+  return s;
+}
+
+std::size_t Dataset::example_numel() const {
+  if (labels_.empty()) return 0;
+  return inputs_.numel() / labels_.size();
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Batch b = gather(indices);
+  return Dataset(std::move(b.inputs), std::move(b.labels));
+}
+
+Batch Dataset::gather(const std::vector<std::size_t>& indices) const {
+  const std::size_t stride = example_numel();
+  Shape batch_shape = inputs_.shape();
+  if (batch_shape.empty()) {
+    throw std::logic_error("Dataset::gather on empty dataset");
+  }
+  batch_shape[0] = indices.size();
+  Batch batch;
+  batch.inputs = Tensor(batch_shape);
+  batch.labels.reserve(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t src = indices[i];
+    if (src >= labels_.size()) {
+      throw std::out_of_range("Dataset::gather index " + std::to_string(src) +
+                              " out of range");
+    }
+    std::copy(inputs_.raw() + src * stride, inputs_.raw() + (src + 1) * stride,
+              batch.inputs.raw() + i * stride);
+    batch.labels.push_back(labels_[src]);
+  }
+  return batch;
+}
+
+Batch Dataset::as_batch() const {
+  Batch batch;
+  batch.inputs = inputs_;
+  batch.labels = labels_;
+  return batch;
+}
+
+std::vector<std::size_t> Dataset::class_histogram(std::size_t num_classes) const {
+  std::vector<std::size_t> hist(num_classes, 0);
+  for (const int label : labels_) {
+    if (label >= 0 && static_cast<std::size_t>(label) < num_classes) {
+      ++hist[static_cast<std::size_t>(label)];
+    }
+  }
+  return hist;
+}
+
+}  // namespace fedca::data

@@ -1,0 +1,53 @@
+// In-memory labeled datasets and batches.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fedca::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+// One minibatch: inputs stacked along dim 0, integer labels parallel to it.
+struct Batch {
+  Tensor inputs;
+  std::vector<int> labels;
+
+  std::size_t size() const { return labels.size(); }
+};
+
+// Columnar dataset: `inputs` is [N, ...], labels has N entries.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Tensor inputs, std::vector<int> labels);
+
+  std::size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+  const Tensor& inputs() const { return inputs_; }
+  const std::vector<int>& labels() const { return labels_; }
+  // Per-example input shape (inputs shape without the leading N).
+  Shape example_shape() const;
+  // Number of scalars per example.
+  std::size_t example_numel() const;
+
+  int label(std::size_t i) const { return labels_.at(i); }
+
+  // Materializes the examples at `indices` (in order) as a new dataset.
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+  // Materializes a batch from `indices`.
+  Batch gather(const std::vector<std::size_t>& indices) const;
+  // The whole dataset as one batch (for small eval sets).
+  Batch as_batch() const;
+
+  // Class histogram over labels [0, num_classes).
+  std::vector<std::size_t> class_histogram(std::size_t num_classes) const;
+
+ private:
+  Tensor inputs_;
+  std::vector<int> labels_;
+};
+
+}  // namespace fedca::data

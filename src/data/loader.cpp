@@ -1,0 +1,40 @@
+#include "data/loader.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace fedca::data {
+
+BatchLoader::BatchLoader(const Dataset* dataset, std::size_t batch_size, util::Rng rng)
+    : dataset_(dataset), batch_size_(batch_size), rng_(rng) {
+  if (dataset_ == nullptr || dataset_->empty()) {
+    throw std::invalid_argument("BatchLoader: dataset must be nonempty");
+  }
+  if (batch_size_ == 0) throw std::invalid_argument("BatchLoader: batch_size must be > 0");
+  batch_size_ = std::min(batch_size_, dataset_->size());
+  order_.resize(dataset_->size());
+  std::iota(order_.begin(), order_.end(), 0);
+  reshuffle();
+}
+
+Batch BatchLoader::next() {
+  std::vector<std::size_t> indices;
+  indices.reserve(batch_size_);
+  while (indices.size() < batch_size_) {
+    if (cursor_ >= order_.size()) reshuffle();
+    indices.push_back(order_[cursor_++]);
+  }
+  return dataset_->gather(indices);
+}
+
+std::size_t BatchLoader::batches_per_epoch() const {
+  return (dataset_->size() + batch_size_ - 1) / batch_size_;
+}
+
+void BatchLoader::reshuffle() {
+  rng_.shuffle(order_);
+  cursor_ = 0;
+}
+
+}  // namespace fedca::data

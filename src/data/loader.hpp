@@ -1,0 +1,36 @@
+// Cycling minibatch loader.
+//
+// FL local training runs a fixed number of iterations per round (K = 125
+// in the paper), typically exceeding one epoch over a small non-IID shard;
+// the loader therefore cycles: it deals shuffled epochs back-to-back,
+// reshuffling at each epoch boundary with its own deterministic RNG stream.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace fedca::data {
+
+class BatchLoader {
+ public:
+  // `batch_size` is clamped to the dataset size. Dataset must be nonempty.
+  BatchLoader(const Dataset* dataset, std::size_t batch_size, util::Rng rng);
+
+  // Next minibatch (always exactly batch_size examples; epochs wrap).
+  Batch next();
+
+  std::size_t batch_size() const { return batch_size_; }
+  // Batches per full pass over the shard (ceiling).
+  std::size_t batches_per_epoch() const;
+
+ private:
+  void reshuffle();
+
+  const Dataset* dataset_;
+  std::size_t batch_size_;
+  util::Rng rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace fedca::data

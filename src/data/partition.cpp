@@ -1,0 +1,93 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedca::data {
+
+std::vector<std::vector<std::size_t>> dirichlet_partition_indices(
+    const Dataset& dataset, const PartitionOptions& options, util::Rng& rng) {
+  if (options.num_clients == 0) {
+    throw std::invalid_argument("dirichlet_partition: num_clients must be > 0");
+  }
+  if (options.num_classes == 0) {
+    throw std::invalid_argument("dirichlet_partition: num_classes must be > 0");
+  }
+  if (options.alpha <= 0.0) {
+    throw std::invalid_argument("dirichlet_partition: alpha must be > 0");
+  }
+
+  // Bucket example indices per class, in dataset order.
+  std::vector<std::vector<std::size_t>> by_class(options.num_classes);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const int label = dataset.label(i);
+    if (label < 0 || static_cast<std::size_t>(label) >= options.num_classes) {
+      throw std::invalid_argument("dirichlet_partition: label " + std::to_string(label) +
+                                  " outside [0, " + std::to_string(options.num_classes) +
+                                  ")");
+    }
+    by_class[static_cast<std::size_t>(label)].push_back(i);
+  }
+
+  std::vector<std::vector<std::size_t>> shards(options.num_clients);
+  for (auto& class_indices : by_class) {
+    if (class_indices.empty()) continue;
+    rng.shuffle(class_indices);
+    const std::vector<double> props = rng.dirichlet(options.alpha, options.num_clients);
+    // Largest-remainder apportionment of |class_indices| examples.
+    const auto total = static_cast<double>(class_indices.size());
+    std::vector<std::size_t> counts(options.num_clients, 0);
+    std::vector<std::pair<double, std::size_t>> remainders;
+    std::size_t assigned = 0;
+    for (std::size_t c = 0; c < options.num_clients; ++c) {
+      const double exact = props[c] * total;
+      counts[c] = static_cast<std::size_t>(exact);
+      assigned += counts[c];
+      remainders.emplace_back(exact - static_cast<double>(counts[c]), c);
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    for (std::size_t r = 0; assigned < class_indices.size(); ++r, ++assigned) {
+      ++counts[remainders[r % remainders.size()].second];
+    }
+    std::size_t cursor = 0;
+    for (std::size_t c = 0; c < options.num_clients; ++c) {
+      for (std::size_t k = 0; k < counts[c]; ++k) {
+        shards[c].push_back(class_indices[cursor++]);
+      }
+    }
+  }
+
+  // Enforce the per-client floor by stealing from the largest shards.
+  for (std::size_t c = 0; c < shards.size(); ++c) {
+    while (shards[c].size() < options.min_examples_per_client) {
+      std::size_t donor = c;
+      for (std::size_t d = 0; d < shards.size(); ++d) {
+        if (shards[d].size() > shards[donor].size()) donor = d;
+      }
+      if (donor == c || shards[donor].size() <= options.min_examples_per_client) {
+        break;  // nothing left to redistribute
+      }
+      shards[c].push_back(shards[donor].back());
+      shards[donor].pop_back();
+    }
+  }
+
+  for (auto& shard : shards) std::sort(shard.begin(), shard.end());
+  return shards;
+}
+
+std::vector<Dataset> dirichlet_partition(const Dataset& dataset,
+                                         const PartitionOptions& options,
+                                         util::Rng& rng) {
+  const auto shards = dirichlet_partition_indices(dataset, options, rng);
+  std::vector<Dataset> out;
+  out.reserve(shards.size());
+  for (const auto& shard : shards) out.push_back(dataset.subset(shard));
+  return out;
+}
+
+}  // namespace fedca::data

@@ -1,0 +1,92 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedca::data {
+
+namespace {
+constexpr std::size_t kProtosPerClass = 2;
+}  // namespace
+
+SyntheticTask::SyntheticTask(nn::ModelKind kind, SyntheticSpec spec, util::Rng& rng)
+    : kind_(kind), spec_(spec), geo_(nn::default_geometry(kind)) {
+  if (spec_.num_classes == 0) {
+    throw std::invalid_argument("SyntheticTask: num_classes must be > 0");
+  }
+  if (kind_ == nn::ModelKind::kLstm) {
+    // Per class, per feature: a frequency in [0.5, 3.0] cycles over the
+    // window and a base phase.
+    freqs_.resize(spec_.num_classes * geo_.features);
+    phases_.resize(spec_.num_classes * geo_.features);
+    for (std::size_t i = 0; i < freqs_.size(); ++i) {
+      freqs_[i] = rng.uniform(0.5, 3.0);
+      phases_[i] = rng.uniform(0.0, 2.0 * M_PI);
+    }
+  } else {
+    const std::size_t numel = geo_.channels * geo_.height * geo_.width;
+    prototypes_.resize(spec_.num_classes * kProtosPerClass);
+    for (auto& proto : prototypes_) {
+      proto.resize(numel);
+      for (auto& v : proto) v = static_cast<float>(rng.normal(0.0, 1.0));
+    }
+  }
+}
+
+Dataset SyntheticTask::sample(std::size_t n, util::Rng& rng) const {
+  if (n == 0) throw std::invalid_argument("SyntheticTask::sample: n must be > 0");
+  if (kind_ == nn::ModelKind::kLstm) return sample_sequences(n, rng);
+  return sample_images(n, rng);
+}
+
+Dataset SyntheticTask::sample_images(std::size_t n, util::Rng& rng) const {
+  const std::size_t numel = geo_.channels * geo_.height * geo_.width;
+  Tensor inputs({n, geo_.channels, geo_.height, geo_.width});
+  std::vector<int> labels(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto label = static_cast<int>(rng.uniform_index(spec_.num_classes));
+    labels[s] = label;
+    const auto& p0 = prototypes_[static_cast<std::size_t>(label) * kProtosPerClass];
+    const auto& p1 = prototypes_[static_cast<std::size_t>(label) * kProtosPerClass + 1];
+    const auto mix = static_cast<float>(rng.uniform());
+    const auto amp = static_cast<float>(rng.uniform(spec_.amplitude_lo, spec_.amplitude_hi));
+    float* dst = inputs.raw() + s * numel;
+    for (std::size_t i = 0; i < numel; ++i) {
+      const float base = mix * p0[i] + (1.0f - mix) * p1[i];
+      dst[i] = amp * base + static_cast<float>(rng.normal(0.0, spec_.noise_stddev));
+    }
+  }
+  return Dataset(std::move(inputs), std::move(labels));
+}
+
+Dataset SyntheticTask::sample_sequences(std::size_t n, util::Rng& rng) const {
+  Tensor inputs({n, geo_.seq_len, geo_.features});
+  std::vector<int> labels(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto label = static_cast<int>(rng.uniform_index(spec_.num_classes));
+    labels[s] = label;
+    const auto amp = static_cast<float>(rng.uniform(spec_.amplitude_lo, spec_.amplitude_hi));
+    const double jitter = rng.uniform(-0.5, 0.5);
+    float* dst = inputs.raw() + s * geo_.seq_len * geo_.features;
+    for (std::size_t t = 0; t < geo_.seq_len; ++t) {
+      const double pos =
+          2.0 * M_PI * static_cast<double>(t) / static_cast<double>(geo_.seq_len);
+      for (std::size_t f = 0; f < geo_.features; ++f) {
+        const std::size_t k = static_cast<std::size_t>(label) * geo_.features + f;
+        const double clean = std::sin(freqs_[k] * pos + phases_[k] + jitter);
+        dst[t * geo_.features + f] =
+            amp * static_cast<float>(clean) +
+            static_cast<float>(rng.normal(0.0, spec_.noise_stddev * 0.5));
+      }
+    }
+  }
+  return Dataset(std::move(inputs), std::move(labels));
+}
+
+Dataset make_synthetic_dataset(nn::ModelKind kind, const SyntheticSpec& spec,
+                               util::Rng& rng) {
+  SyntheticTask task(kind, spec, rng);
+  return task.sample(spec.samples, rng);
+}
+
+}  // namespace fedca::data

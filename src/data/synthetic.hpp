@@ -1,0 +1,74 @@
+// Synthetic stand-ins for the paper's datasets (CIFAR-10, KWS, CIFAR-100).
+//
+// The paper's method never inspects pixel semantics — it consumes gradient
+// trajectories produced by SGD on non-IID client shards. What must be
+// preserved is therefore (a) a genuinely learnable multi-class problem with
+// intra-class variation, so local training exhibits the fast-then-flat
+// statistical-progress shape, and (b) label skew via Dirichlet partitioning.
+//
+// A SyntheticTask fixes the class structure once (so train, test, and
+// every client shard agree on what each class looks like) and can then
+// sample arbitrarily many datasets:
+//
+// Image task ("synthetic CIFAR"): every class owns two prototype images.
+// A sample mixes its class's prototypes with a random convex weight,
+// scales by a random amplitude, and adds Gaussian pixel noise. Two
+// prototypes per class create intra-class modes; amplitude and noise
+// control difficulty.
+//
+// Sequence task ("synthetic KWS"): each class owns a bank of per-feature
+// frequencies/phases; a sample is sinusoids at those frequencies with
+// random phase jitter plus noise — a caricature of spectro-temporal keyword
+// signatures that an LSTM must integrate over time.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "nn/models.hpp"
+#include "util/rng.hpp"
+
+namespace fedca::data {
+
+struct SyntheticSpec {
+  std::size_t num_classes = 10;
+  // Default sample count for sample() when not overridden.
+  std::size_t samples = 2000;
+  // Difficulty knobs.
+  double noise_stddev = 0.8;
+  double amplitude_lo = 0.6;
+  double amplitude_hi = 1.4;
+};
+
+class SyntheticTask {
+ public:
+  // Draws the class structure (prototypes / frequency banks) from `rng`.
+  SyntheticTask(nn::ModelKind kind, SyntheticSpec spec, util::Rng& rng);
+
+  nn::ModelKind kind() const { return kind_; }
+  const SyntheticSpec& spec() const { return spec_; }
+  const nn::InputGeometry& geometry() const { return geo_; }
+
+  // Samples `n` labeled examples; consecutive calls with independent RNG
+  // streams give disjoint but identically-distributed sets (train/test).
+  Dataset sample(std::size_t n, util::Rng& rng) const;
+
+ private:
+  Dataset sample_images(std::size_t n, util::Rng& rng) const;
+  Dataset sample_sequences(std::size_t n, util::Rng& rng) const;
+
+  nn::ModelKind kind_;
+  SyntheticSpec spec_;
+  nn::InputGeometry geo_;
+  // Image structure: per class, kProtosPerClass flattened prototypes.
+  std::vector<std::vector<float>> prototypes_;
+  // Sequence structure: per class x feature.
+  std::vector<double> freqs_;
+  std::vector<double> phases_;
+};
+
+// Convenience wrapper: builds a task and draws one dataset of
+// `spec.samples` examples from it. Kept for simple call sites/tests that
+// need no train/test split.
+Dataset make_synthetic_dataset(nn::ModelKind kind, const SyntheticSpec& spec,
+                               util::Rng& rng);
+
+}  // namespace fedca::data

@@ -1,0 +1,53 @@
+#include "fl/aggregation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fedca::fl {
+
+std::vector<std::size_t> select_earliest(const std::vector<ClientRoundResult>& results,
+                                         double fraction) {
+  if (results.empty()) return {};
+  fraction = std::clamp(fraction, 1e-9, 1.0);
+  const auto quota = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(results.size())));
+  std::vector<std::size_t> order(results.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (results[a].arrival_time != results[b].arrival_time) {
+      return results[a].arrival_time < results[b].arrival_time;
+    }
+    return results[a].client_id < results[b].client_id;
+  });
+  order.resize(std::max<std::size_t>(1, quota));
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+void apply_aggregated_update(nn::ModelState& global,
+                             const std::vector<ClientRoundResult>& results,
+                             const std::vector<std::size_t>& selected) {
+  if (selected.empty()) {
+    throw std::invalid_argument("apply_aggregated_update: empty selection");
+  }
+  double total_weight = 0.0;
+  for (const std::size_t idx : selected) {
+    total_weight += results.at(idx).weight;
+  }
+  if (total_weight <= 0.0) {
+    throw std::invalid_argument("apply_aggregated_update: nonpositive total weight");
+  }
+  for (const std::size_t idx : selected) {
+    const ClientRoundResult& r = results.at(idx);
+    if (!r.applied_update.same_layout(global)) {
+      throw std::invalid_argument("apply_aggregated_update: layout mismatch for client " +
+                                  std::to_string(r.client_id));
+    }
+    const auto scale = static_cast<float>(r.weight / total_weight);
+    nn::state_add_scaled(global, scale, r.applied_update);
+  }
+}
+
+}  // namespace fedca::fl

@@ -1,0 +1,30 @@
+// FedAvg-style update aggregation with partial collection.
+//
+// The server applies the weighted mean of collected client updates to the
+// global model. Following the paper's setup (Sec. 5.1), the server waits
+// only for the earliest `collect_fraction` (90 %) of participant updates;
+// later arrivals are dropped for that round.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fl/types.hpp"
+#include "nn/state.hpp"
+
+namespace fedca::fl {
+
+// Indices of the earliest ceil(fraction * n) results by arrival time
+// (ties broken by client id for determinism). fraction is clamped to
+// (0, 1]; n == 0 yields empty.
+std::vector<std::size_t> select_earliest(const std::vector<ClientRoundResult>& results,
+                                         double fraction);
+
+// Weighted mean of the selected updates, added in place to `global`.
+// Weights are each client's `weight` (dataset size), normalized over the
+// selected subset. Throws if `selected` is empty or layouts mismatch.
+void apply_aggregated_update(nn::ModelState& global,
+                             const std::vector<ClientRoundResult>& results,
+                             const std::vector<std::size_t>& selected);
+
+}  // namespace fedca::fl

@@ -1,0 +1,106 @@
+#include "fl/async_engine.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "nn/sgd.hpp"
+
+namespace fedca::fl {
+
+AsyncEngine::AsyncEngine(nn::Classifier* model, sim::Cluster* cluster,
+                         std::vector<data::Dataset> shards, AsyncEngineOptions options,
+                         util::Rng rng)
+    : model_(model), cluster_(cluster), shards_(std::move(shards)), options_(options) {
+  if (model_ == nullptr || cluster_ == nullptr) {
+    throw std::invalid_argument("AsyncEngine: null dependency");
+  }
+  if (shards_.size() != cluster_->size()) {
+    throw std::invalid_argument("AsyncEngine: shard count mismatch");
+  }
+  if (options_.local_iterations == 0) {
+    throw std::invalid_argument("AsyncEngine: local_iterations must be > 0");
+  }
+  if (options_.mix <= 0.0 || options_.mix > 1.0) {
+    throw std::invalid_argument("AsyncEngine: mix must be in (0, 1]");
+  }
+  loaders_.reserve(shards_.size());
+  for (std::size_t c = 0; c < shards_.size(); ++c) {
+    loaders_.emplace_back(&shards_[c], options_.batch_size, rng.fork(0xA517C + c));
+  }
+  global_ = model_->state();
+  in_flight_.resize(cluster_->size());
+  for (std::size_t c = 0; c < cluster_->size(); ++c) launch(c, 0.0);
+}
+
+void AsyncEngine::load_global_into_model() { model_->load(global_); }
+
+void AsyncEngine::launch(std::size_t c, double t) {
+  sim::ClientDevice& device = cluster_->client(c);
+  const double bytes_per_param = model_->info().bytes_per_actual_param();
+  const double model_bytes =
+      static_cast<double>(global_.numel()) * bytes_per_param +
+      options_.upload_header_bytes;
+
+  const sim::Transfer download = device.downlink().transmit(t, model_bytes);
+  const double compute_work = static_cast<double>(options_.local_iterations) *
+                              model_->info().nominal_iteration_seconds;
+  const double compute_done = device.compute_finish(download.end, compute_work);
+  const sim::Transfer upload = device.uplink().transmit(compute_done, model_bytes);
+
+  InFlight flight;
+  flight.arrival_time = upload.end;
+  flight.downloaded_version = version_;
+  flight.snapshot = global_;
+  in_flight_[c] = std::move(flight);
+}
+
+AsyncUpdateRecord AsyncEngine::step() {
+  // Earliest arrival wins (ties: lowest client id for determinism).
+  std::size_t winner = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < in_flight_.size(); ++c) {
+    if (in_flight_[c].arrival_time < best) {
+      best = in_flight_[c].arrival_time;
+      winner = c;
+    }
+  }
+  InFlight flight = std::move(in_flight_[winner]);
+  clock_ = flight.arrival_time;
+
+  // Train the winner's cycle NOW, from the snapshot it downloaded. The
+  // timing was already committed at launch; training is time-free.
+  model_->load(flight.snapshot);
+  model_->set_training(true);
+  nn::SgdOptimizer optimizer(model_->parameters(), options_.optimizer);
+  for (std::size_t it = 0; it < options_.local_iterations; ++it) {
+    const data::Batch batch = loaders_[winner].next();
+    model_->compute_gradients(batch.inputs, batch.labels);
+    optimizer.step();
+  }
+  nn::ModelState update = nn::state_sub(model_->state(), flight.snapshot);
+
+  AsyncUpdateRecord record;
+  record.client_id = winner;
+  record.arrival_time = flight.arrival_time;
+  record.downloaded_version = flight.downloaded_version;
+  record.staleness = version_ - flight.downloaded_version;
+  record.weight =
+      options_.mix /
+      std::pow(1.0 + static_cast<double>(record.staleness), options_.staleness_power);
+  nn::state_add_scaled(global_, static_cast<float>(record.weight), update);
+  ++version_;
+  record.applied_version = version_;
+
+  launch(winner, clock_);
+  return record;
+}
+
+std::vector<AsyncUpdateRecord> AsyncEngine::run_updates(std::size_t updates) {
+  std::vector<AsyncUpdateRecord> records;
+  records.reserve(updates);
+  for (std::size_t i = 0; i < updates; ++i) records.push_back(step());
+  return records;
+}
+
+}  // namespace fedca::fl

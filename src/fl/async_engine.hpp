@@ -1,0 +1,96 @@
+// Asynchronous FL engine (FedAsync/Papaya-style baseline).
+//
+// Sec. 6 of the paper contrasts FedCA with asynchronous training: "each
+// client can proceed independently without waiting for others. Yet,
+// asynchronous updating may incur stale parameters and compromise the
+// training accuracy." This engine implements that alternative so the
+// claim is testable (bench/ext_async):
+//
+//   * every client loops independently — download the current global,
+//     train K local iterations, upload;
+//   * the server applies each update the moment it arrives, scaled by a
+//     staleness-discounted mixing weight
+//         w = mix / (1 + staleness)^staleness_power
+//     where staleness = number of global versions applied since the
+//     client downloaded (FedAsync's polynomial discount);
+//   * no rounds, no deadlines, no waiting — and no round-structure for
+//     FedCA-style intra-round autonomy to exploit.
+//
+// Simulation: clients' in-flight work is tracked as (arrival time, the
+// downloaded snapshot); arrivals are processed in virtual-time order, so
+// the run is deterministic.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/loader.hpp"
+#include "fl/types.hpp"
+#include "nn/models.hpp"
+#include "nn/sgd.hpp"
+#include "sim/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace fedca::fl {
+
+struct AsyncEngineOptions {
+  std::size_t local_iterations = 30;  // K per cycle
+  std::size_t batch_size = 10;
+  nn::SgdOptions optimizer;
+  // Base mixing weight (FedAsync's alpha).
+  double mix = 0.6;
+  // Polynomial staleness discount exponent (0 = ignore staleness).
+  double staleness_power = 0.5;
+  double upload_header_bytes = 512.0;
+};
+
+struct AsyncUpdateRecord {
+  std::size_t client_id = 0;
+  double arrival_time = 0.0;
+  std::size_t downloaded_version = 0;
+  std::size_t applied_version = 0;  // global version after applying
+  std::size_t staleness = 0;
+  double weight = 0.0;              // effective mixing weight used
+};
+
+class AsyncEngine {
+ public:
+  AsyncEngine(nn::Classifier* model, sim::Cluster* cluster,
+              std::vector<data::Dataset> shards, AsyncEngineOptions options,
+              util::Rng rng);
+
+  // Processes the next arriving client update: applies it to the global
+  // model and immediately relaunches that client. Returns the record.
+  AsyncUpdateRecord step();
+
+  // Runs until `updates` arrivals have been applied.
+  std::vector<AsyncUpdateRecord> run_updates(std::size_t updates);
+
+  double now() const { return clock_; }
+  std::size_t global_version() const { return version_; }
+  const nn::ModelState& global_state() const { return global_; }
+  void load_global_into_model();
+
+ private:
+  struct InFlight {
+    double arrival_time = 0.0;
+    std::size_t downloaded_version = 0;
+    nn::ModelState snapshot;  // the global the client trained from
+  };
+
+  // Starts client `c`'s next cycle at virtual time `t`.
+  void launch(std::size_t c, double t);
+
+  nn::Classifier* model_;
+  sim::Cluster* cluster_;
+  std::vector<data::Dataset> shards_;
+  AsyncEngineOptions options_;
+  std::vector<data::BatchLoader> loaders_;
+  std::vector<InFlight> in_flight_;  // one slot per client
+  nn::ModelState global_;
+  std::size_t version_ = 0;
+  double clock_ = 0.0;
+};
+
+}  // namespace fedca::fl

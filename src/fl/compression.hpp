@@ -1,0 +1,78 @@
+// Update compression: quantization and sparsification.
+//
+// Sec. 2.2 of the paper lists the classical communication optimizations —
+// QSGD-style quantization (fewer bits per element) and top-k
+// sparsification (fewer elements) — and Sec. 6 notes they are orthogonal
+// to FedCA. This module implements both so the ablation bench can verify
+// that orthogonality: a compressor plugs into the round engine and
+// transforms each transmitted layer update, changing (a) the bytes on the
+// wire and (b) the values the server applies (compression is lossy).
+//
+// Compressors simulate the codec: compress() rewrites the tensor to its
+// decompressed (post-codec) values and returns the wire size in bytes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace fedca::fl {
+
+class UpdateCompressor {
+ public:
+  virtual ~UpdateCompressor() = default;
+  virtual std::string name() const = 0;
+  // Applies the lossy codec to `layer_update` in place and returns the
+  // number of bytes this layer would occupy on the wire.
+  // `bytes_per_param` is the uncompressed per-scalar wire cost (4 at
+  // native scale; larger under paper-scale byte accounting).
+  virtual double compress(tensor::Tensor& layer_update, double bytes_per_param) = 0;
+};
+
+// No-op codec: float32 on the wire.
+class IdentityCompressor : public UpdateCompressor {
+ public:
+  std::string name() const override { return "identity"; }
+  double compress(tensor::Tensor& layer_update, double bytes_per_param) override;
+};
+
+// QSGD (Alistarh et al., NeurIPS'17): stochastic uniform quantization to
+// `levels` magnitude levels plus a sign and one float norm per layer.
+// Unbiased: E[decode(encode(x))] = x.
+class QsgdQuantizer : public UpdateCompressor {
+ public:
+  // levels >= 1 quantization levels; rng drives the stochastic rounding.
+  QsgdQuantizer(std::size_t levels, util::Rng rng);
+  std::string name() const override;
+  double compress(tensor::Tensor& layer_update, double bytes_per_param) override;
+
+  // Wire bits per element for this level count (sign + level index).
+  double bits_per_element() const;
+
+ private:
+  std::size_t levels_;
+  util::Rng rng_;
+};
+
+// Top-k magnitude sparsification (Gaia/APF lineage): keep the largest
+// `fraction` of entries per layer (at least one), zero the rest. Wire
+// cost: one index + one value per kept entry.
+class TopKSparsifier : public UpdateCompressor {
+ public:
+  explicit TopKSparsifier(double fraction);
+  std::string name() const override;
+  double compress(tensor::Tensor& layer_update, double bytes_per_param) override;
+
+ private:
+  double fraction_;
+};
+
+// Named constructor used by the scheme factory: "none" | "qsgd" | "topk".
+std::unique_ptr<UpdateCompressor> make_compressor(const std::string& kind,
+                                                  std::size_t qsgd_levels,
+                                                  double topk_fraction,
+                                                  util::Rng rng);
+
+}  // namespace fedca::fl

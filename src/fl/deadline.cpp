@@ -1,0 +1,55 @@
+#include "fl/deadline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fedca::fl {
+
+DeadlineEstimator::DeadlineEstimator(std::size_t history_rounds, double min_fraction)
+    : history_rounds_(history_rounds), min_fraction_(min_fraction) {
+  if (history_rounds_ == 0) {
+    throw std::invalid_argument("DeadlineEstimator: history_rounds must be > 0");
+  }
+  if (min_fraction_ <= 0.0 || min_fraction_ > 1.0) {
+    throw std::invalid_argument("DeadlineEstimator: min_fraction must be in (0, 1]");
+  }
+}
+
+void DeadlineEstimator::observe_round(const std::vector<double>& durations) {
+  if (durations.empty()) return;
+  window_.push_back(durations);
+  while (window_.size() > history_rounds_) window_.pop_front();
+}
+
+double DeadlineEstimator::estimate() const {
+  if (window_.empty()) return std::numeric_limits<double>::infinity();
+  std::vector<double> all;
+  for (const auto& round : window_) {
+    all.insert(all.end(), round.begin(), round.end());
+  }
+  std::sort(all.begin(), all.end());
+  const auto n = static_cast<double>(all.size());
+  // Smallest candidate index allowed by min_fraction.
+  const auto first_allowed =
+      static_cast<std::size_t>(std::ceil(min_fraction_ * n)) - 1;
+
+  double best_deadline = all.back();
+  double best_ratio = -1.0;
+  for (std::size_t i = first_allowed; i < all.size(); ++i) {
+    const double d = all[i];
+    if (d <= 0.0) continue;
+    // count(d_j <= d) is at least i+1 (duplicates included by upper_bound).
+    const auto count = static_cast<double>(
+        std::upper_bound(all.begin(), all.end(), d) - all.begin());
+    const double ratio = count / d;
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best_deadline = d;
+    }
+  }
+  return best_deadline;
+}
+
+}  // namespace fedca::fl

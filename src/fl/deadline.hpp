@@ -1,0 +1,40 @@
+// FedBalancer-style round-deadline estimation (Sec. 4.2, Eq. 3 context).
+//
+// "We determine T_R by maximizing the ratio of the estimated number of
+// clients that can finish before T_R to T_R itself." The estimator feeds
+// on the previous rounds' observed per-client completion durations
+// (round-relative). The chosen deadline is the candidate duration d among
+// the observations maximizing count(d_i <= d) / d — neither so early that
+// too few updates arrive, nor so late that stragglers dominate.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace fedca::fl {
+
+class DeadlineEstimator {
+ public:
+  // `history_rounds` — how many recent rounds of duration observations are
+  // retained; `min_fraction` — the deadline is never allowed to cut off
+  // more than (1 - min_fraction) of clients.
+  explicit DeadlineEstimator(std::size_t history_rounds = 3, double min_fraction = 0.5);
+
+  // Records one round's per-client completion durations (arrival - start).
+  void observe_round(const std::vector<double>& durations);
+
+  bool has_estimate() const { return !window_.empty(); }
+
+  // Round-relative deadline T_R. Returns +infinity until observations
+  // exist (the first round runs without a deadline, matching the paper's
+  // warm-up behaviour).
+  double estimate() const;
+
+ private:
+  std::size_t history_rounds_;
+  double min_fraction_;
+  std::deque<std::vector<double>> window_;
+};
+
+}  // namespace fedca::fl

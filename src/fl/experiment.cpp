@@ -1,0 +1,170 @@
+#include "fl/experiment.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/logging.hpp"
+
+namespace fedca::fl {
+
+std::vector<double> ExperimentResult::early_stop_iterations() const {
+  std::vector<double> out;
+  for (const RoundSummary& round : rounds) {
+    for (const ClientRoundSummary& c : round.clients) {
+      if (c.early_stopped) out.push_back(static_cast<double>(c.iterations_run));
+    }
+  }
+  return out;
+}
+
+std::vector<double> ExperimentResult::eager_iterations(bool effective_with_retrans) const {
+  std::vector<double> out;
+  for (const RoundSummary& round : rounds) {
+    for (const ClientRoundSummary& c : round.clients) {
+      for (const auto& e : c.eager) {
+        if (effective_with_retrans && e.retransmitted) {
+          out.push_back(static_cast<double>(c.iterations_run));
+        } else {
+          out.push_back(static_cast<double>(e.iteration));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ExperimentSetup make_setup(const ExperimentOptions& options, Scheme& scheme) {
+  util::Rng root(options.seed);
+  util::Rng model_rng = root.fork(1);
+  util::Rng data_rng = root.fork(2);
+  util::Rng partition_rng = root.fork(3);
+  util::Rng cluster_rng = root.fork(4);
+  util::Rng loader_rng = root.fork(5);
+
+  ExperimentSetup setup;
+  setup.model = std::make_unique<nn::Classifier>(
+      [&] { return nn::build_model(options.model, model_rng); }());
+
+  // One task fixes the class structure; train and test sets are disjoint
+  // draws from it.
+  data::SyntheticTask task(options.model, options.data_spec, data_rng);
+  util::Rng train_rng = data_rng.fork(10);
+  util::Rng test_rng = data_rng.fork(11);
+  data::Dataset full_train = task.sample(options.train_samples, train_rng);
+  setup.test_set = task.sample(options.test_samples, test_rng);
+
+  data::PartitionOptions part;
+  part.num_clients = options.num_clients;
+  part.num_classes = options.data_spec.num_classes;
+  part.alpha = options.dirichlet_alpha;
+  part.min_examples_per_client = std::max<std::size_t>(2, options.batch_size / 2);
+  setup.shards = data::dirichlet_partition(full_train, part, partition_rng);
+
+  sim::ClusterOptions cluster_options = options.cluster;
+  cluster_options.num_clients = options.num_clients;
+  setup.cluster = std::make_unique<sim::Cluster>(cluster_options, cluster_rng);
+
+  RoundEngineOptions engine_options;
+  engine_options.local_iterations = options.local_iterations;
+  engine_options.batch_size = options.batch_size;
+  engine_options.optimizer = options.optimizer;
+  engine_options.collect_fraction = options.collect_fraction;
+  engine_options.participation_fraction = options.participation_fraction;
+  setup.engine = std::make_unique<RoundEngine>(setup.model.get(), setup.cluster.get(),
+                                               setup.shards, &scheme, engine_options,
+                                               loader_rng);
+  return setup;
+}
+
+nn::Classifier::EvalResult evaluate_global(ExperimentSetup& setup) {
+  setup.engine->load_global_into_model();
+  const data::Batch test = setup.test_set.as_batch();
+  return setup.model->evaluate(test.inputs, test.labels);
+}
+
+namespace {
+
+RoundSummary summarize(const RoundRecord& record) {
+  RoundSummary summary;
+  summary.round_index = record.round_index;
+  summary.start_time = record.start_time;
+  summary.end_time = record.end_time;
+  summary.deadline = record.deadline;
+  std::unordered_set<std::size_t> collected(record.collected.begin(),
+                                            record.collected.end());
+  summary.clients.reserve(record.clients.size());
+  for (std::size_t i = 0; i < record.clients.size(); ++i) {
+    const ClientRoundResult& r = record.clients[i];
+    ClientRoundSummary c;
+    c.client_id = r.client_id;
+    c.iterations_run = r.iterations_run;
+    c.planned_iterations = r.planned_iterations;
+    c.early_stopped = r.early_stopped;
+    c.arrival_time = r.arrival_time;
+    c.compute_seconds = r.compute_seconds;
+    c.bytes_sent = r.bytes_sent;
+    c.collected = collected.count(i) > 0;
+    c.eager.reserve(r.eager.size());
+    for (const EagerRecord& e : r.eager) {
+      c.eager.push_back({e.layer, e.iteration, e.retransmitted});
+    }
+    summary.clients.push_back(std::move(c));
+  }
+  return summary;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentOptions& options, Scheme& scheme) {
+  ExperimentSetup setup = make_setup(options, scheme);
+  ExperimentResult result;
+  result.scheme_name = scheme.name();
+  result.model_name = setup.model->info().name;
+
+  std::vector<double> recent_acc;
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    RoundRecord record = setup.engine->run_round();
+    result.rounds.push_back(summarize(record));
+
+    if (round % std::max<std::size_t>(1, options.eval_every) == 0 ||
+        round + 1 == options.max_rounds) {
+      const nn::Classifier::EvalResult eval = evaluate_global(setup);
+      EvalPoint point;
+      point.round_index = record.round_index;
+      point.virtual_time = record.end_time;
+      point.accuracy = eval.accuracy;
+      point.loss = eval.loss;
+      result.curve.push_back(point);
+      result.final_accuracy = eval.accuracy;
+
+      recent_acc.push_back(eval.accuracy);
+      if (recent_acc.size() > options.accuracy_smoothing) {
+        recent_acc.erase(recent_acc.begin());
+      }
+      const double smoothed =
+          std::accumulate(recent_acc.begin(), recent_acc.end(), 0.0) /
+          static_cast<double>(recent_acc.size());
+      FEDCA_LOG_INFO("experiment")
+          << scheme.name() << " round " << record.round_index << " t="
+          << record.end_time << " acc=" << eval.accuracy << " smoothed=" << smoothed;
+      if (options.target_accuracy > 0.0 && !result.reached_target &&
+          smoothed >= options.target_accuracy) {
+        result.reached_target = true;
+        result.time_to_target = record.end_time;
+        result.rounds_to_target = record.round_index + 1;
+        break;
+      }
+    }
+  }
+
+  result.total_time = setup.engine->now();
+  if (!result.rounds.empty()) {
+    double sum = 0.0;
+    for (const RoundSummary& r : result.rounds) sum += r.duration();
+    result.mean_round_seconds = sum / static_cast<double>(result.rounds.size());
+  }
+  return result;
+}
+
+}  // namespace fedca::fl

@@ -1,0 +1,63 @@
+#include "fl/fedada.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fedca::fl {
+
+FedAdaScheme::FedAdaScheme(FedAdaOptions options) : options_(options) {
+  if (options_.tradeoff < 0.0 || options_.tradeoff > 1.0) {
+    throw std::invalid_argument("FedAdaScheme: tradeoff must be in [0, 1]");
+  }
+  if (options_.min_fraction <= 0.0 || options_.min_fraction > 1.0) {
+    throw std::invalid_argument("FedAdaScheme: min_fraction must be in (0, 1]");
+  }
+}
+
+void FedAdaScheme::bind(std::size_t num_clients, std::size_t nominal_iterations) {
+  Scheme::bind(num_clients, nominal_iterations);
+  est_iter_seconds_.assign(num_clients, -1.0);
+}
+
+RoundPlan FedAdaScheme::plan_round(std::size_t round_index) {
+  RoundPlan plan = Scheme::plan_round(round_index);
+  plan.deadline = deadline_.estimate();
+  if (plan.deadline == kNoDeadline) return plan;  // warm-up: everyone runs K
+
+  const auto K = static_cast<double>(nominal_iterations_);
+  const auto k_min = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor(options_.min_fraction * K)));
+  for (std::size_t c = 0; c < num_clients_; ++c) {
+    const double est = est_iter_seconds_[c];
+    if (est <= 0.0) continue;  // no knowledge yet; keep full workload
+    const double fits_deadline = plan.deadline / est;
+    const double blended =
+        options_.tradeoff * K + (1.0 - options_.tradeoff) * fits_deadline;
+    auto k_i = static_cast<std::size_t>(std::llround(blended));
+    k_i = std::clamp<std::size_t>(k_i, k_min, nominal_iterations_);
+    plan.iterations[c] = k_i;
+  }
+  return plan;
+}
+
+void FedAdaScheme::observe_round(const RoundRecord& record) {
+  std::vector<double> durations;
+  durations.reserve(record.clients.size());
+  for (const ClientRoundResult& r : record.clients) {
+    durations.push_back(r.arrival_time - record.start_time);
+    if (r.iterations_run > 0) {
+      const double per_iter = r.compute_seconds / static_cast<double>(r.iterations_run);
+      double& est = est_iter_seconds_.at(r.client_id);
+      est = (est <= 0.0) ? per_iter
+                         : options_.speed_ewma * per_iter + (1.0 - options_.speed_ewma) * est;
+    }
+  }
+  deadline_.observe_round(durations);
+}
+
+double FedAdaScheme::estimated_iteration_seconds(std::size_t client_id) const {
+  return est_iter_seconds_.at(client_id);
+}
+
+}  // namespace fedca::fl

@@ -1,0 +1,234 @@
+#include "fl/round_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "tensor/ops.hpp"
+#include "util/logging.hpp"
+
+namespace fedca::fl {
+
+RoundEngine::RoundEngine(nn::Classifier* model, sim::Cluster* cluster,
+                         std::vector<data::Dataset> shards, Scheme* scheme,
+                         RoundEngineOptions options, util::Rng rng)
+    : model_(model),
+      cluster_(cluster),
+      shards_(std::move(shards)),
+      scheme_(scheme),
+      options_(options) {
+  if (model_ == nullptr || cluster_ == nullptr || scheme_ == nullptr) {
+    throw std::invalid_argument("RoundEngine: null dependency");
+  }
+  if (shards_.size() != cluster_->size()) {
+    throw std::invalid_argument("RoundEngine: shard count " +
+                                std::to_string(shards_.size()) + " != cluster size " +
+                                std::to_string(cluster_->size()));
+  }
+  if (options_.local_iterations == 0) {
+    throw std::invalid_argument("RoundEngine: local_iterations must be > 0");
+  }
+  if (options_.participation_fraction <= 0.0 || options_.participation_fraction > 1.0) {
+    throw std::invalid_argument("RoundEngine: participation_fraction must be in (0, 1]");
+  }
+  loaders_.reserve(shards_.size());
+  for (std::size_t c = 0; c < shards_.size(); ++c) {
+    loaders_.emplace_back(&shards_[c], options_.batch_size, rng.fork(0xB00C + c));
+  }
+  selection_rng_ = rng.fork(0x5E1EC7);
+  global_ = model_->state();
+  scheme_->bind(cluster_->size(), options_.local_iterations);
+}
+
+void RoundEngine::load_global_into_model() { model_->load(global_); }
+
+RoundRecord RoundEngine::run_round() {
+  RoundRecord record;
+  record.round_index = round_index_;
+  record.start_time = clock_;
+
+  const RoundPlan plan = scheme_->plan_round(round_index_);
+  if (plan.iterations.size() != cluster_->size()) {
+    throw std::logic_error("RoundEngine: plan has wrong per-client iteration count");
+  }
+  record.deadline = plan.deadline;
+
+  // Participant selection (all clients when participation_fraction == 1).
+  std::vector<std::size_t> participants;
+  if (options_.participation_fraction >= 1.0) {
+    participants.resize(cluster_->size());
+    for (std::size_t c = 0; c < cluster_->size(); ++c) participants[c] = c;
+  } else {
+    const auto quota = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(options_.participation_fraction *
+                                              static_cast<double>(cluster_->size()))));
+    participants = selection_rng_.sample_without_replacement(cluster_->size(), quota);
+  }
+
+  record.clients.reserve(participants.size());
+  for (const std::size_t c : participants) {
+    RoundInfo info;
+    info.round_index = round_index_;
+    info.start_time = clock_;
+    info.deadline = (plan.deadline == kNoDeadline) ? kNoDeadline : clock_ + plan.deadline;
+    info.planned_iterations = std::max<std::size_t>(1, plan.iterations[c]);
+    info.nominal_iterations = options_.local_iterations;
+    record.clients.push_back(run_client(c, info));
+  }
+
+  record.collected = select_earliest(record.clients, options_.collect_fraction);
+  apply_aggregated_update(global_, record.clients, record.collected);
+  double end_time = clock_;
+  for (const std::size_t idx : record.collected) {
+    end_time = std::max(end_time, record.clients[idx].arrival_time);
+  }
+  record.end_time = end_time;
+  clock_ = end_time;
+  ++round_index_;
+
+  scheme_->observe_round(record);
+  FEDCA_LOG_DEBUG("round_engine") << "round " << record.round_index << " done in "
+                                  << record.duration() << "s (deadline "
+                                  << record.deadline << ")";
+  return record;
+}
+
+ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo& info) {
+  sim::ClientDevice& device = cluster_->client(client_id);
+  ClientPolicy& policy = scheme_->client_policy(client_id);
+  const double bytes_per_param = model_->info().bytes_per_actual_param();
+  const double iteration_work = model_->info().nominal_iteration_seconds;
+
+  ClientRoundResult result;
+  result.client_id = client_id;
+  result.weight = static_cast<double>(shards_[client_id].size());
+  result.planned_iterations = info.planned_iterations;
+
+  // Optional lossy codec on everything this client uploads this round.
+  const std::unique_ptr<UpdateCompressor> compressor =
+      scheme_->make_compressor(client_id, info.round_index);
+
+  // 1. Download the global model.
+  const double model_bytes =
+      static_cast<double>(global_.numel()) * bytes_per_param + options_.upload_header_bytes;
+  const sim::Transfer download = device.downlink().transmit(info.start_time, model_bytes);
+  result.download_done = download.end;
+
+  // 2. Local training.
+  model_->load(global_);
+  model_->set_training(true);
+  nn::SgdOptions opt_options = scheme_->local_optimizer(options_.optimizer);
+  nn::SgdOptimizer optimizer(model_->parameters(), opt_options);
+  if (opt_options.prox_mu != 0.0) optimizer.capture_prox_anchor();
+  const double base_lr = opt_options.learning_rate;
+
+  policy.on_round_start(info, global_);
+
+  const double train_start = download.end;
+  double t = train_start;
+  double loss_sum = 0.0;
+  std::unordered_set<std::size_t> eager_sent;
+  std::size_t iterations = 0;
+  bool stopped_early = false;
+
+  const std::vector<nn::Parameter*> params = model_->parameters();
+
+  for (std::size_t tau = 1; tau <= info.planned_iterations; ++tau) {
+    const data::Batch batch = loaders_[client_id].next();
+    loss_sum += model_->compute_gradients(batch.inputs, batch.labels);
+    optimizer.step();
+    t = device.compute_finish(t, iteration_work);
+    iterations = tau;
+
+    IterationView view;
+    view.iteration = tau;
+    view.now = t;
+    view.train_start = train_start;
+    view.round = &info;
+    view.round_start = &global_;
+    view.model = &model_->backbone();
+    const IterationDecision decision = policy.after_iteration(view);
+
+    for (const std::size_t layer : decision.eager_layers) {
+      if (layer >= params.size()) {
+        throw std::logic_error("policy requested eager transmission of bad layer index");
+      }
+      if (!eager_sent.insert(layer).second) continue;  // at most once per round
+      EagerRecord eager;
+      eager.layer = layer;
+      eager.iteration = tau;
+      eager.value = tensor::sub(params[layer]->value, global_.tensors[layer]);
+      const double layer_bytes =
+          compressor ? compressor->compress(eager.value, bytes_per_param)
+                     : static_cast<double>(eager.value.numel()) * bytes_per_param;
+      const sim::Transfer transfer = device.uplink().transmit(t, layer_bytes);
+      eager.send_time = transfer.start;
+      eager.arrival_time = transfer.end;
+      result.bytes_sent += layer_bytes;
+      result.eager.push_back(std::move(eager));
+    }
+
+    if (decision.lr_scale != 1.0) {
+      if (decision.lr_scale <= 0.0) {
+        throw std::logic_error("policy requested non-positive lr_scale");
+      }
+      optimizer.set_learning_rate(base_lr * decision.lr_scale);
+    }
+
+    if (decision.stop && tau < info.planned_iterations) {
+      stopped_early = true;
+      break;
+    }
+  }
+  result.iterations_run = iterations;
+  result.early_stopped = stopped_early;
+  result.compute_done = t;
+  result.compute_seconds = t - train_start;
+  result.mean_local_loss = iterations > 0 ? loss_sum / static_cast<double>(iterations) : 0.0;
+
+  // 3. Final update, retransmission selection, and upload.
+  nn::ModelState final_update = nn::state_sub(model_->state(), global_);
+  const std::vector<std::size_t> retrans =
+      policy.select_retransmissions(final_update, result.eager);
+  std::unordered_set<std::size_t> retrans_set(retrans.begin(), retrans.end());
+  for (EagerRecord& eager : result.eager) {
+    if (retrans_set.count(eager.layer) > 0) {
+      eager.retransmitted = true;
+      ++result.retransmitted_layers;
+    }
+  }
+
+  double final_bytes = options_.upload_header_bytes;
+  for (std::size_t layer = 0; layer < final_update.tensors.size(); ++layer) {
+    const bool eagerly_sent = eager_sent.count(layer) > 0;
+    const bool retransmit = retrans_set.count(layer) > 0;
+    if (!eagerly_sent || retransmit) {
+      if (compressor) {
+        // The codec rewrites the layer to its decoded values: that is what
+        // the server will apply.
+        final_bytes += compressor->compress(final_update.tensors[layer], bytes_per_param);
+      } else {
+        final_bytes +=
+            static_cast<double>(final_update.tensors[layer].numel()) * bytes_per_param;
+      }
+    }
+  }
+  const sim::Transfer upload = device.uplink().transmit(t, final_bytes);
+  result.bytes_sent += final_bytes;
+  result.arrival_time = upload.end;
+
+  // 4. The update the server applies: eager values stand unless the layer
+  // was retransmitted (in which case the exact final value arrives).
+  result.applied_update = std::move(final_update);
+  for (const EagerRecord& eager : result.eager) {
+    if (!eager.retransmitted) {
+      result.applied_update.tensors[eager.layer] = eager.value;
+    }
+  }
+
+  policy.on_round_end(info);
+  return result;
+}
+
+}  // namespace fedca::fl

@@ -1,0 +1,90 @@
+// The FL round engine: real local SGD interleaved with simulated time.
+//
+// One round, exactly as in FedAvg/Sec. 2.1 of the paper, with FedCA's
+// client-autonomy hooks threaded through:
+//
+//   1. The server announces the round plan (deadline T_R, per-client
+//      iteration budgets) — Scheme::plan_round.
+//   2. Every participant downloads the global model over its rate-limited
+//      downlink (virtual transfer time).
+//   3. The client trains locally. Each iteration runs *actual* SGD on the
+//      client's non-IID shard; its virtual duration comes from the
+//      device's dynamic speed timeline. After every iteration the client's
+//      policy may (a) eagerly transmit chosen layers — the engine
+//      snapshots the current per-layer update and occupies the uplink,
+//      overlapping the transfer with subsequent compute — or (b) stop.
+//   4. At halt the policy selects retransmissions (error feedback); the
+//      final upload carries all never-eagerly-sent layers plus the
+//      retransmitted ones, and the server-side update substitutes eager
+//      values for layers that were eagerly sent and not retransmitted.
+//   5. The server aggregates the earliest `collect_fraction` of arrivals
+//      (weighted FedAvg) and the round ends at that point in virtual time.
+//
+// Training is bit-deterministic in the experiment seed; virtual time never
+// depends on host wall-clock.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/loader.hpp"
+#include "fl/aggregation.hpp"
+#include "fl/scheme.hpp"
+#include "fl/types.hpp"
+#include "nn/models.hpp"
+#include "sim/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace fedca::fl {
+
+struct RoundEngineOptions {
+  std::size_t local_iterations = 125;  // K
+  std::size_t batch_size = 50;
+  nn::SgdOptions optimizer;            // local SGD settings
+  double collect_fraction = 0.9;       // server waits for this share
+  double upload_header_bytes = 512.0;  // control framing per upload
+  // Fraction of clients selected to participate each round (1.0 = all,
+  // the paper's setting). Selection is uniform without replacement from
+  // the engine's RNG stream.
+  double participation_fraction = 1.0;
+};
+
+class RoundEngine {
+ public:
+  // `model` is the shared training replica (global weights are kept in the
+  // engine and loaded per client); `cluster` provides virtual devices;
+  // `shards` are the per-client datasets (size must equal cluster size).
+  RoundEngine(nn::Classifier* model, sim::Cluster* cluster,
+              std::vector<data::Dataset> shards, Scheme* scheme,
+              RoundEngineOptions options, util::Rng rng);
+
+  // Runs one full round, advances the virtual clock, applies aggregation
+  // to the global state, and reports what happened.
+  RoundRecord run_round();
+
+  double now() const { return clock_; }
+  std::size_t rounds_completed() const { return round_index_; }
+  const nn::ModelState& global_state() const { return global_; }
+  nn::Classifier& model() { return *model_; }
+  const RoundEngineOptions& options() const { return options_; }
+  // Loads the current global weights into the shared model replica (used
+  // before evaluation).
+  void load_global_into_model();
+
+ private:
+  ClientRoundResult run_client(std::size_t client_id, const RoundInfo& info);
+
+  nn::Classifier* model_;
+  sim::Cluster* cluster_;
+  std::vector<data::Dataset> shards_;
+  Scheme* scheme_;
+  RoundEngineOptions options_;
+  std::vector<data::BatchLoader> loaders_;
+  nn::ModelState global_;
+  util::Rng selection_rng_;
+  double clock_ = 0.0;
+  std::size_t round_index_ = 0;
+};
+
+}  // namespace fedca::fl

@@ -1,0 +1,61 @@
+#include "fl/scheme.hpp"
+
+#include <stdexcept>
+
+namespace fedca::fl {
+
+RoundPlan Scheme::plan_round(std::size_t /*round_index*/) {
+  if (num_clients_ == 0) {
+    throw std::logic_error("Scheme::plan_round called before bind()");
+  }
+  RoundPlan plan;
+  plan.deadline = kNoDeadline;
+  plan.iterations.assign(num_clients_, nominal_iterations_);
+  return plan;
+}
+
+ClientPolicy& Scheme::client_policy(std::size_t /*client_id*/) { return default_policy_; }
+
+CompressedScheme::CompressedScheme(std::unique_ptr<Scheme> inner, CompressionSpec spec,
+                                   std::uint64_t seed)
+    : inner_(std::move(inner)), spec_(std::move(spec)), seed_(seed) {
+  if (!inner_) throw std::invalid_argument("CompressedScheme: null inner scheme");
+  // Validate the spec eagerly by constructing one throwaway codec.
+  (void)fl::make_compressor(spec_.kind, spec_.qsgd_levels, spec_.topk_fraction,
+                            util::Rng(seed_));
+}
+
+std::string CompressedScheme::name() const {
+  return inner_->name() + "+" + spec_.kind;
+}
+
+void CompressedScheme::bind(std::size_t num_clients, std::size_t nominal_iterations) {
+  Scheme::bind(num_clients, nominal_iterations);
+  inner_->bind(num_clients, nominal_iterations);
+}
+
+RoundPlan CompressedScheme::plan_round(std::size_t round_index) {
+  return inner_->plan_round(round_index);
+}
+
+ClientPolicy& CompressedScheme::client_policy(std::size_t client_id) {
+  return inner_->client_policy(client_id);
+}
+
+nn::SgdOptions CompressedScheme::local_optimizer(const nn::SgdOptions& base) {
+  return inner_->local_optimizer(base);
+}
+
+void CompressedScheme::observe_round(const RoundRecord& record) {
+  inner_->observe_round(record);
+}
+
+std::unique_ptr<UpdateCompressor> CompressedScheme::make_compressor(
+    std::size_t client_id, std::size_t round_index) {
+  // Per-(client, round) stream keeps stochastic quantization deterministic.
+  util::Rng root(seed_);
+  return fl::make_compressor(spec_.kind, spec_.qsgd_levels, spec_.topk_fraction,
+                             root.fork(client_id * 100003 + round_index));
+}
+
+}  // namespace fedca::fl

@@ -1,0 +1,71 @@
+// Shared record types of the FL framework.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "nn/state.hpp"
+#include "tensor/tensor.hpp"
+
+namespace fedca::fl {
+
+inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+// One eagerly transmitted layer (Sec. 4.3): which layer, when it was sent
+// (iteration + virtual arrival time at the server), and the update value
+// that went on the wire.
+struct EagerRecord {
+  std::size_t layer = 0;
+  std::size_t iteration = 0;      // 1-based local iteration of transmission
+  double send_time = 0.0;         // virtual time the transfer started
+  double arrival_time = 0.0;      // virtual time it fully arrived
+  tensor::Tensor value;           // transmitted per-layer update (w_tau - w_0)
+  bool retransmitted = false;     // set after the Eq. 6 check
+};
+
+// What one client contributed to one round, with full system accounting.
+struct ClientRoundResult {
+  std::size_t client_id = 0;
+  // The per-layer update the server will apply for this client (eager
+  // values where they stand, final values elsewhere).
+  nn::ModelState applied_update;
+  // Aggregation weight (local dataset size).
+  double weight = 1.0;
+  // Virtual time the server has the complete update.
+  double arrival_time = 0.0;
+
+  // --- bookkeeping for figures/tables ---
+  std::size_t iterations_run = 0;
+  std::size_t planned_iterations = 0;
+  bool early_stopped = false;
+  double download_done = 0.0;
+  double compute_done = 0.0;       // end of last local iteration
+  double compute_seconds = 0.0;    // compute_done - download_done
+  double bytes_sent = 0.0;         // uplink payload incl. retransmissions
+  double mean_local_loss = 0.0;
+  std::vector<EagerRecord> eager;  // one entry per eagerly transmitted layer
+  std::size_t retransmitted_layers = 0;
+};
+
+// Everything that happened in one round.
+struct RoundRecord {
+  std::size_t round_index = 0;
+  double start_time = 0.0;
+  double end_time = 0.0;           // server finished collecting the quorum
+  double deadline = kNoDeadline;   // T_R announced at round start
+  std::vector<ClientRoundResult> clients;   // every participant
+  std::vector<std::size_t> collected;       // indices into `clients` aggregated
+  double duration() const { return end_time - start_time; }
+};
+
+// Accuracy trajectory sample (Fig. 7 / Table 1 raw data).
+struct EvalPoint {
+  std::size_t round_index = 0;
+  double virtual_time = 0.0;   // at round end
+  double accuracy = 0.0;
+  double loss = 0.0;
+};
+
+}  // namespace fedca::fl

@@ -1,0 +1,50 @@
+// Parameter-free activation layers and the Flatten adapter.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace fedca::nn {
+
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string type_name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+class Tanh : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string type_name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+class Sigmoid : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string type_name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+// Reshapes [N, ...] to [N, prod(...)]. Forward-only shape change; backward
+// restores the cached input shape.
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string type_name() const override { return "Flatten"; }
+
+ private:
+  tensor::Shape cached_shape_;
+};
+
+}  // namespace fedca::nn

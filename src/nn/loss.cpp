@@ -1,0 +1,78 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fedca::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels) {
+  if (logits.ndim() != 2) {
+    throw std::invalid_argument("softmax_cross_entropy: logits must be [N, C]");
+  }
+  const std::size_t n = logits.dim(0);
+  const std::size_t c = logits.dim(1);
+  if (labels.size() != n) {
+    throw std::invalid_argument("softmax_cross_entropy: label count " +
+                                std::to_string(labels.size()) + " != batch " +
+                                std::to_string(n));
+  }
+  LossResult result;
+  result.grad_logits = Tensor(logits.shape());
+  double total_loss = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const int label = labels[s];
+    if (label < 0 || static_cast<std::size_t>(label) >= c) {
+      throw std::invalid_argument("softmax_cross_entropy: label " + std::to_string(label) +
+                                  " out of range [0, " + std::to_string(c) + ")");
+    }
+    const float* row = logits.raw() + s * c;
+    // Stable log-softmax.
+    float max_logit = row[0];
+    for (std::size_t j = 1; j < c; ++j) max_logit = std::max(max_logit, row[j]);
+    double sum_exp = 0.0;
+    for (std::size_t j = 0; j < c; ++j) sum_exp += std::exp(static_cast<double>(row[j]) - max_logit);
+    const double log_sum = std::log(sum_exp) + max_logit;
+    total_loss += log_sum - row[static_cast<std::size_t>(label)];
+    float* grad_row = result.grad_logits.raw() + s * c;
+    for (std::size_t j = 0; j < c; ++j) {
+      const double p = std::exp(static_cast<double>(row[j]) - log_sum);
+      grad_row[j] = static_cast<float>(p * inv_n);
+    }
+    grad_row[static_cast<std::size_t>(label)] -= static_cast<float>(inv_n);
+  }
+  result.loss = total_loss * inv_n;
+  return result;
+}
+
+std::vector<int> argmax_rows(const Tensor& logits) {
+  if (logits.ndim() != 2) throw std::invalid_argument("argmax_rows: logits must be [N, C]");
+  const std::size_t n = logits.dim(0);
+  const std::size_t c = logits.dim(1);
+  std::vector<int> out(n, 0);
+  for (std::size_t s = 0; s < n; ++s) {
+    const float* row = logits.raw() + s * c;
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[s] = static_cast<int>(best);
+  }
+  return out;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  const std::vector<int> preds = argmax_rows(logits);
+  if (preds.size() != labels.size()) {
+    throw std::invalid_argument("accuracy: size mismatch");
+  }
+  if (preds.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(preds.size());
+}
+
+}  // namespace fedca::nn

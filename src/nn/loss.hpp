@@ -1,0 +1,28 @@
+// Loss functions over batched logits.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fedca::nn {
+
+using tensor::Tensor;
+
+// Softmax cross-entropy over logits [N, C] with integer labels [N].
+// Returns mean loss; `grad_logits` (same shape as logits) receives
+// d(mean loss)/d(logits).
+struct LossResult {
+  double loss = 0.0;
+  Tensor grad_logits;
+};
+
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels);
+
+// Predicted class per row (argmax of logits).
+std::vector<int> argmax_rows(const Tensor& logits);
+
+// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace fedca::nn

@@ -1,0 +1,15 @@
+#include "nn/module.hpp"
+
+namespace fedca::nn {
+
+void Module::zero_grad() {
+  for (Parameter* p : parameters()) p->grad.zero();
+}
+
+std::size_t parameter_count(Module& module) {
+  std::size_t n = 0;
+  for (const Parameter* p : module.parameters()) n += p->numel();
+  return n;
+}
+
+}  // namespace fedca::nn

@@ -1,0 +1,75 @@
+// Module/Parameter abstraction of the neural-network substrate.
+//
+// Every trainable tensor is a named Parameter; names follow PyTorch
+// conventions ("conv2.weight", "rnn.weight_hh_l0", ...). This matters
+// beyond aesthetics: FedCA's per-layer mechanisms (Figs. 3 & 5, eager
+// transmission of Sec. 4.3) operate at exactly this granularity — one
+// "layer" in the paper is one named parameter tensor here.
+//
+// Modules implement an explicit reverse pass: forward() caches whatever the
+// matching backward() needs; backward() consumes the output gradient,
+// *accumulates* into each parameter's .grad, and returns the input
+// gradient. No autograd tape — the model zoo is small and static, and the
+// explicit style keeps per-iteration update accounting (the heart of the
+// statistical-progress metric) easy to audit.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace fedca::nn {
+
+using tensor::Tensor;
+
+// A named trainable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter() = default;
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  std::size_t numel() const { return value.numel(); }
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  // Maps a batch of inputs to a batch of outputs. Input layout is
+  // module-specific (dense: [N, F]; conv: [N, C*H*W] flattened with known
+  // geometry; recurrent: [N, T*F]). Implementations cache activations
+  // needed by backward().
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  // Propagates the loss gradient. Must be called after forward() with a
+  // gradient matching forward's output shape. Accumulates parameter
+  // gradients and returns d(loss)/d(input).
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  // Trainable parameters in a stable order (pointers remain valid for the
+  // module's lifetime). Default: none.
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  // Human-readable type name for diagnostics.
+  virtual std::string type_name() const = 0;
+
+  // Switches between training and inference behaviour (batch-norm
+  // statistics). Containers propagate to children; stateless modules
+  // ignore it.
+  virtual void set_training(bool /*training*/) {}
+
+  // Clears all parameter gradients.
+  void zero_grad();
+};
+
+// Total scalar parameter count across a module.
+std::size_t parameter_count(Module& module);
+
+}  // namespace fedca::nn

@@ -1,0 +1,128 @@
+#include "nn/norm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedca::nn {
+
+BatchNorm2d::BatchNorm2d(std::string name_prefix, std::size_t channels, std::size_t in_h,
+                         std::size_t in_w, double momentum, double eps)
+    : channels_(channels),
+      in_h_(in_h),
+      in_w_(in_w),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(name_prefix + ".weight", Tensor({channels}, 1.0f)),
+      beta_(name_prefix + ".bias", Tensor({channels}, 0.0f)),
+      running_mean_(channels, 0.0),
+      running_var_(channels, 1.0) {}
+
+Tensor BatchNorm2d::forward(const Tensor& input) {
+  if (input.ndim() != 4 || input.dim(1) != channels_ || input.dim(2) != in_h_ ||
+      input.dim(3) != in_w_) {
+    throw std::invalid_argument("BatchNorm2d::forward shape mismatch: " +
+                                tensor::shape_to_string(input.shape()));
+  }
+  const std::size_t n = input.dim(0);
+  const std::size_t plane = in_h_ * in_w_;
+  const auto count = static_cast<double>(n * plane);
+  cached_batch_ = n;
+  cached_mean_.assign(channels_, 0.0);
+  cached_inv_std_.assign(channels_, 0.0);
+  cached_xhat_ = Tensor(input.shape());
+  Tensor output(input.shape());
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    double mean = 0.0, var = 0.0;
+    if (training_) {
+      for (std::size_t s = 0; s < n; ++s) {
+        const float* src = input.raw() + (s * channels_ + c) * plane;
+        for (std::size_t i = 0; i < plane; ++i) mean += src[i];
+      }
+      mean /= count;
+      for (std::size_t s = 0; s < n; ++s) {
+        const float* src = input.raw() + (s * channels_ + c) * plane;
+        for (std::size_t i = 0; i < plane; ++i) {
+          const double d = src[i] - mean;
+          var += d * d;
+        }
+      }
+      var /= count;
+      running_mean_[c] = (1.0 - momentum_) * running_mean_[c] + momentum_ * mean;
+      running_var_[c] = (1.0 - momentum_) * running_var_[c] + momentum_ * var;
+    } else {
+      mean = running_mean_[c];
+      var = running_var_[c];
+    }
+    const double inv_std = 1.0 / std::sqrt(var + eps_);
+    cached_mean_[c] = mean;
+    cached_inv_std_[c] = inv_std;
+    const float g = gamma_.value[c];
+    const float b = beta_.value[c];
+    for (std::size_t s = 0; s < n; ++s) {
+      const float* src = input.raw() + (s * channels_ + c) * plane;
+      float* xhat = cached_xhat_.raw() + (s * channels_ + c) * plane;
+      float* dst = output.raw() + (s * channels_ + c) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        const float xh = static_cast<float>((src[i] - mean) * inv_std);
+        xhat[i] = xh;
+        dst[i] = g * xh + b;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  if (!grad_output.same_shape(cached_xhat_)) {
+    throw std::invalid_argument("BatchNorm2d::backward shape mismatch");
+  }
+  const std::size_t n = cached_batch_;
+  const std::size_t plane = in_h_ * in_w_;
+  const auto count = static_cast<double>(n * plane);
+  Tensor grad_input(grad_output.shape());
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    // Accumulate sum(dY), sum(dY * xhat) per channel.
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      const float* dy = grad_output.raw() + (s * channels_ + c) * plane;
+      const float* xh = cached_xhat_.raw() + (s * channels_ + c) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+    beta_.grad[c] += static_cast<float>(sum_dy);
+
+    const double g = gamma_.value[c];
+    const double inv_std = cached_inv_std_[c];
+    if (training_) {
+      // dX = (g * inv_std / m) * (m*dY - sum(dY) - xhat * sum(dY*xhat))
+      const double scale = g * inv_std / count;
+      for (std::size_t s = 0; s < n; ++s) {
+        const float* dy = grad_output.raw() + (s * channels_ + c) * plane;
+        const float* xh = cached_xhat_.raw() + (s * channels_ + c) * plane;
+        float* dx = grad_input.raw() + (s * channels_ + c) * plane;
+        for (std::size_t i = 0; i < plane; ++i) {
+          dx[i] = static_cast<float>(scale * (count * dy[i] - sum_dy - xh[i] * sum_dy_xhat));
+        }
+      }
+    } else {
+      const double scale = g * inv_std;
+      for (std::size_t s = 0; s < n; ++s) {
+        const float* dy = grad_output.raw() + (s * channels_ + c) * plane;
+        float* dx = grad_input.raw() + (s * channels_ + c) * plane;
+        for (std::size_t i = 0; i < plane; ++i) {
+          dx[i] = static_cast<float>(scale * dy[i]);
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> BatchNorm2d::parameters() { return {&gamma_, &beta_}; }
+
+}  // namespace fedca::nn

@@ -1,0 +1,44 @@
+// Batch normalization over [N, C, H, W] (per-channel statistics).
+//
+// Training mode normalizes with batch statistics and maintains running
+// estimates; eval mode uses the running estimates. gamma/beta are trainable
+// named parameters ("<prefix>.weight"/"<prefix>.bias") so they participate
+// in FL synchronization and in FedCA's per-layer analysis, mirroring the
+// WRN residual-block parameters visible in the paper's Fig. 3
+// ("conv3.0.residual.0.bias" etc.).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace fedca::nn {
+
+class BatchNorm2d : public Module {
+ public:
+  BatchNorm2d(std::string name_prefix, std::size_t channels, std::size_t in_h,
+              std::size_t in_w, double momentum = 0.1, double eps = 1e-5);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string type_name() const override { return "BatchNorm2d"; }
+
+  void set_training(bool training) override { training_ = training; }
+  bool training() const { return training_; }
+
+ private:
+  std::size_t channels_, in_h_, in_w_;
+  double momentum_, eps_;
+  bool training_ = true;
+  Parameter gamma_;  // [C]
+  Parameter beta_;   // [C]
+  // Running statistics (state, not trainable; excluded from parameters()).
+  std::vector<double> running_mean_;
+  std::vector<double> running_var_;
+  // Forward cache for backward.
+  Tensor cached_xhat_;
+  std::vector<double> cached_mean_;
+  std::vector<double> cached_inv_std_;
+  std::size_t cached_batch_ = 0;
+};
+
+}  // namespace fedca::nn

@@ -1,0 +1,79 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedca::nn {
+
+MomentumSgd::MomentumSgd(std::vector<Parameter*> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  if (options_.momentum < 0.0 || options_.momentum >= 1.0) {
+    throw std::invalid_argument("MomentumSgd: momentum must be in [0, 1)");
+  }
+  velocity_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    if (p == nullptr) throw std::invalid_argument("MomentumSgd: null parameter");
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void MomentumSgd::step() {
+  const auto lr = static_cast<float>(options_.learning_rate);
+  const auto mu = static_cast<float>(options_.momentum);
+  const auto wd = static_cast<float>(options_.weight_decay);
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Parameter& p = *params_[k];
+    Tensor& v = velocity_[k];
+    for (std::size_t i = 0; i < p.value.numel(); ++i) {
+      float g = p.grad[i];
+      if (wd != 0.0f) g += wd * p.value[i];
+      v[i] = mu * v[i] + g;
+      p.value[i] -= lr * v[i];
+    }
+  }
+}
+
+void MomentumSgd::reset_velocity() {
+  for (auto& v : velocity_) v.zero();
+}
+
+Adam::Adam(std::vector<Parameter*> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  if (options_.beta1 < 0.0 || options_.beta1 >= 1.0 || options_.beta2 < 0.0 ||
+      options_.beta2 >= 1.0) {
+    throw std::invalid_argument("Adam: betas must be in [0, 1)");
+  }
+  if (options_.epsilon <= 0.0) throw std::invalid_argument("Adam: epsilon must be > 0");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    if (p == nullptr) throw std::invalid_argument("Adam: null parameter");
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++steps_;
+  const double b1 = options_.beta1;
+  const double b2 = options_.beta2;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(steps_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(steps_));
+  const double lr = options_.learning_rate;
+  const auto wd = static_cast<float>(options_.weight_decay);
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Parameter& p = *params_[k];
+    for (std::size_t i = 0; i < p.value.numel(); ++i) {
+      float g = p.grad[i];
+      if (wd != 0.0f) g += wd * p.value[i];
+      m_[k][i] = static_cast<float>(b1 * m_[k][i] + (1.0 - b1) * g);
+      v_[k][i] = static_cast<float>(b2 * v_[k][i] + (1.0 - b2) * g * g);
+      const double m_hat = m_[k][i] / bias1;
+      const double v_hat = v_[k][i] / bias2;
+      p.value[i] -=
+          static_cast<float>(lr * m_hat / (std::sqrt(v_hat) + options_.epsilon));
+    }
+  }
+}
+
+}  // namespace fedca::nn

@@ -1,0 +1,63 @@
+// Additional first-order optimizers: momentum SGD and Adam.
+//
+// The paper trains with plain SGD (Sec. 5.1) — the round engine keeps
+// using SgdOptimizer — but its Sec. 6 points at adaptive optimization
+// (server/client-side Adam, momentum) as the next frontier for federated
+// efficiency; these implementations make such experiments possible on
+// this codebase. Both share SgdOptimizer's conventions: step() consumes
+// the accumulated gradients, weight decay is L2 (added to the gradient).
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace fedca::nn {
+
+// Heavy-ball momentum: v = mu * v + g;  w -= lr * v.
+class MomentumSgd {
+ public:
+  struct Options {
+    double learning_rate = 0.01;
+    double momentum = 0.9;
+    double weight_decay = 0.0;
+  };
+
+  MomentumSgd(std::vector<Parameter*> params, Options options);
+
+  void step();
+  void reset_velocity();
+  const Options& options() const { return options_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  Options options_;
+  std::vector<Tensor> velocity_;  // parallel to params_
+};
+
+// Adam (Kingma & Ba): bias-corrected first/second moment adaptive steps.
+class Adam {
+ public:
+  struct Options {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double weight_decay = 0.0;
+  };
+
+  Adam(std::vector<Parameter*> params, Options options);
+
+  void step();
+  std::size_t step_count() const { return steps_; }
+  const Options& options() const { return options_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  Options options_;
+  std::vector<Tensor> m_;  // first moment
+  std::vector<Tensor> v_;  // second moment
+  std::size_t steps_ = 0;
+};
+
+}  // namespace fedca::nn

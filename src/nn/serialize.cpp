@@ -1,0 +1,103 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace fedca::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'C', 'A', '1'};
+// Sanity caps so malformed headers cannot trigger huge allocations.
+constexpr std::uint64_t kMaxLayers = 1u << 20;
+constexpr std::uint64_t kMaxNameLen = 4096;
+constexpr std::uint64_t kMaxDims = 16;
+constexpr std::uint64_t kMaxNumel = 1ull << 33;  // 8G scalars
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  out.write(reinterpret_cast<const char*>(buf), 8);
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  unsigned char buf[8];
+  in.read(reinterpret_cast<char*>(buf), 8);
+  if (!in.good()) throw std::runtime_error("load_state: truncated input");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void save_state(const ModelState& state, std::ostream& out) {
+  out.write(kMagic, 4);
+  write_u64(out, state.tensors.size());
+  for (std::size_t l = 0; l < state.tensors.size(); ++l) {
+    const std::string& name = l < state.names.size() ? state.names[l] : "";
+    write_u64(out, name.size());
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const tensor::Tensor& t = state.tensors[l];
+    write_u64(out, t.ndim());
+    for (std::size_t d = 0; d < t.ndim(); ++d) write_u64(out, t.dim(d));
+    out.write(reinterpret_cast<const char*>(t.raw()),
+              static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
+  if (!out.good()) throw std::runtime_error("save_state: write failure");
+}
+
+void save_state_file(const ModelState& state, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_state: cannot open " + path);
+  save_state(state, out);
+}
+
+ModelState load_state_stream(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in.good() || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("load_state: bad magic (not a FedCA checkpoint)");
+  }
+  const std::uint64_t layers = read_u64(in);
+  if (layers > kMaxLayers) throw std::runtime_error("load_state: absurd layer count");
+  ModelState state;
+  state.names.reserve(layers);
+  state.tensors.reserve(layers);
+  for (std::uint64_t l = 0; l < layers; ++l) {
+    const std::uint64_t name_len = read_u64(in);
+    if (name_len > kMaxNameLen) throw std::runtime_error("load_state: absurd name length");
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    const std::uint64_t ndim = read_u64(in);
+    if (ndim > kMaxDims) throw std::runtime_error("load_state: absurd rank");
+    tensor::Shape shape(ndim);
+    std::uint64_t numel = ndim == 0 ? 0 : 1;
+    for (std::uint64_t d = 0; d < ndim; ++d) {
+      shape[d] = static_cast<std::size_t>(read_u64(in));
+      if (shape[d] == 0 || numel > kMaxNumel / std::max<std::uint64_t>(shape[d], 1)) {
+        throw std::runtime_error("load_state: absurd tensor shape");
+      }
+      numel *= shape[d];
+    }
+    std::vector<float> data(numel);
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    if (!in.good()) throw std::runtime_error("load_state: truncated tensor data");
+    state.names.push_back(std::move(name));
+    state.tensors.emplace_back(std::move(shape), std::move(data));
+  }
+  return state;
+}
+
+ModelState load_state_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_state: cannot open " + path);
+  return load_state_stream(in);
+}
+
+}  // namespace fedca::nn

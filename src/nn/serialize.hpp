@@ -1,0 +1,25 @@
+// Binary model-state serialization (checkpointing).
+//
+// Format "FCA1" (little-endian):
+//   magic[4] | u64 layer_count | per layer:
+//     u64 name_len | name bytes | u64 ndim | u64 dims[ndim] | f32 data[numel]
+// Self-describing and validated on load: a checkpoint written by one
+// model can only load into a model with the identical layer layout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/state.hpp"
+
+namespace fedca::nn {
+
+// Writes `state` to the stream; throws std::runtime_error on I/O failure.
+void save_state(const ModelState& state, std::ostream& out);
+void save_state_file(const ModelState& state, const std::string& path);
+
+// Reads a ModelState; throws std::runtime_error on malformed input.
+ModelState load_state_stream(std::istream& in);
+ModelState load_state_file(const std::string& path);
+
+}  // namespace fedca::nn

@@ -1,0 +1,39 @@
+#include "nn/sgd.hpp"
+
+#include <stdexcept>
+
+namespace fedca::nn {
+
+SgdOptimizer::SgdOptimizer(std::vector<Parameter*> params, SgdOptions options)
+    : params_(std::move(params)), options_(options) {
+  for (const Parameter* p : params_) {
+    if (p == nullptr) throw std::invalid_argument("SgdOptimizer: null parameter");
+  }
+}
+
+void SgdOptimizer::capture_prox_anchor() {
+  prox_anchor_.clear();
+  prox_anchor_.reserve(params_.size());
+  for (const Parameter* p : params_) prox_anchor_.push_back(p->value);
+}
+
+void SgdOptimizer::step() {
+  const auto lr = static_cast<float>(options_.learning_rate);
+  const auto wd = static_cast<float>(options_.weight_decay);
+  const auto mu = static_cast<float>(options_.prox_mu);
+  const bool use_prox = mu != 0.0f && !prox_anchor_.empty();
+  if (mu != 0.0f && prox_anchor_.empty()) {
+    throw std::logic_error("SgdOptimizer: prox_mu set but capture_prox_anchor() not called");
+  }
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Parameter& p = *params_[k];
+    for (std::size_t i = 0; i < p.value.numel(); ++i) {
+      float g = p.grad[i];
+      if (wd != 0.0f) g += wd * p.value[i];
+      if (use_prox) g += mu * (p.value[i] - prox_anchor_[k][i]);
+      p.value[i] -= lr * g;
+    }
+  }
+}
+
+}  // namespace fedca::nn

@@ -1,0 +1,102 @@
+#include "nn/state.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace fedca::nn {
+
+std::size_t ModelState::numel() const {
+  std::size_t n = 0;
+  for (const auto& t : tensors) n += t.numel();
+  return n;
+}
+
+bool ModelState::same_layout(const ModelState& other) const {
+  if (tensors.size() != other.tensors.size()) return false;
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
+    if (!tensors[i].same_shape(other.tensors[i])) return false;
+  }
+  return true;
+}
+
+std::vector<float> ModelState::flattened() const {
+  std::vector<float> out;
+  out.reserve(numel());
+  for (const auto& t : tensors) {
+    out.insert(out.end(), t.data().begin(), t.data().end());
+  }
+  return out;
+}
+
+std::size_t ModelState::layer_index(const std::string& name) const {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  throw std::out_of_range("ModelState: no layer named " + name);
+}
+
+ModelState capture_state(Module& model) {
+  ModelState state;
+  for (const Parameter* p : model.parameters()) {
+    state.names.push_back(p->name);
+    state.tensors.push_back(p->value);
+  }
+  return state;
+}
+
+void load_state(Module& model, const ModelState& state) {
+  const std::vector<Parameter*> params = model.parameters();
+  if (params.size() != state.tensors.size()) {
+    throw std::invalid_argument("load_state: layer count mismatch");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (!params[i]->value.same_shape(state.tensors[i])) {
+      throw std::invalid_argument("load_state: shape mismatch at layer " +
+                                  params[i]->name);
+    }
+    params[i]->value = state.tensors[i];
+  }
+}
+
+ModelState state_sub(const ModelState& a, const ModelState& b) {
+  if (!a.same_layout(b)) throw std::invalid_argument("state_sub: layout mismatch");
+  ModelState out;
+  out.names = a.names;
+  out.tensors.reserve(a.tensors.size());
+  for (std::size_t i = 0; i < a.tensors.size(); ++i) {
+    out.tensors.push_back(tensor::sub(a.tensors[i], b.tensors[i]));
+  }
+  return out;
+}
+
+void state_add_scaled(ModelState& a, float alpha, const ModelState& b) {
+  if (!a.same_layout(b)) throw std::invalid_argument("state_add_scaled: layout mismatch");
+  for (std::size_t i = 0; i < a.tensors.size(); ++i) {
+    tensor::add_scaled(a.tensors[i], alpha, b.tensors[i]);
+  }
+}
+
+ModelState state_zeros_like(const ModelState& like) {
+  ModelState out;
+  out.names = like.names;
+  out.tensors.reserve(like.tensors.size());
+  for (const auto& t : like.tensors) out.tensors.emplace_back(t.shape());
+  return out;
+}
+
+void state_scale(ModelState& state, float alpha) {
+  for (auto& t : state.tensors) tensor::scale(alpha, t.data());
+}
+
+double state_l2_norm(const ModelState& state) {
+  double acc = 0.0;
+  for (const auto& t : state.tensors) {
+    const double n = tensor::l2_norm(t.data());
+    acc += n * n;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace fedca::nn

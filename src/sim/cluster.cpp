@@ -1,0 +1,25 @@
+#include "sim/cluster.hpp"
+
+namespace fedca::sim {
+
+ClientDevice::ClientDevice(std::size_t id, const trace::DeviceProfile& profile,
+                           const trace::DynamicityOptions& dynamicity,
+                           double link_latency, util::Rng rng)
+    : id_(id),
+      profile_(profile),
+      timeline_(profile.base_speed, dynamicity, rng),
+      uplink_(profile.bandwidth_mbps, link_latency),
+      downlink_(profile.bandwidth_mbps, link_latency) {}
+
+Cluster::Cluster(const ClusterOptions& options, util::Rng& rng) : options_(options) {
+  const std::vector<trace::DeviceProfile> profiles =
+      trace::synthesize_profiles(options.num_clients, options.heterogeneity, rng);
+  clients_.reserve(options.num_clients);
+  for (std::size_t i = 0; i < options.num_clients; ++i) {
+    clients_.push_back(std::make_unique<ClientDevice>(
+        i, profiles[i], options.dynamicity, options.link_latency_seconds,
+        rng.fork(0x5EED0000 + i)));
+  }
+}
+
+}  // namespace fedca::sim

@@ -1,0 +1,65 @@
+// Simulated FL cluster: N client devices plus one server.
+//
+// Stands in for the paper's 128 c6i.large clients + 1 c5a.8xlarge server.
+// Each client carries its heterogeneous speed profile, its dynamicity
+// timeline (continuous across rounds, like a real device), and a dedicated
+// rate-limited uplink/downlink. Virtual time is global and monotone for
+// the lifetime of the cluster.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace fedca::sim {
+
+struct ClusterOptions {
+  std::size_t num_clients = 128;
+  trace::HeterogeneityOptions heterogeneity;
+  trace::DynamicityOptions dynamicity;
+  // Fixed per-transfer latency on client links.
+  double link_latency_seconds = 0.005;
+};
+
+// One simulated edge device.
+class ClientDevice {
+ public:
+  ClientDevice(std::size_t id, const trace::DeviceProfile& profile,
+               const trace::DynamicityOptions& dynamicity, double link_latency,
+               util::Rng rng);
+
+  std::size_t id() const { return id_; }
+  const trace::DeviceProfile& profile() const { return profile_; }
+  trace::SpeedTimeline& timeline() { return timeline_; }
+  Link& uplink() { return uplink_; }
+  Link& downlink() { return downlink_; }
+
+  // Virtual completion time of `work` unit-speed seconds of compute
+  // starting at `start` (dynamicity-aware).
+  double compute_finish(double start, double work) { return timeline_.finish_time(start, work); }
+
+ private:
+  std::size_t id_;
+  trace::DeviceProfile profile_;
+  trace::SpeedTimeline timeline_;
+  Link uplink_;
+  Link downlink_;
+};
+
+class Cluster {
+ public:
+  Cluster(const ClusterOptions& options, util::Rng& rng);
+
+  std::size_t size() const { return clients_.size(); }
+  ClientDevice& client(std::size_t i) { return *clients_.at(i); }
+  const ClusterOptions& options() const { return options_; }
+
+ private:
+  ClusterOptions options_;
+  std::vector<std::unique_ptr<ClientDevice>> clients_;
+};
+
+}  // namespace fedca::sim

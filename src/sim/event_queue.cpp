@@ -1,0 +1,44 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fedca::sim {
+
+void EventQueue::schedule(double time, std::function<void()> action) {
+  if (time < now_) {
+    throw std::invalid_argument("EventQueue::schedule: time " + std::to_string(time) +
+                                " is before now " + std::to_string(now_));
+  }
+  heap_.push(Event{time, next_seq_++, std::move(action)});
+}
+
+void EventQueue::schedule_in(double delay, std::function<void()> action) {
+  if (delay < 0.0) throw std::invalid_argument("EventQueue::schedule_in: negative delay");
+  schedule(now_ + delay, std::move(action));
+}
+
+bool EventQueue::run_next() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move via const_cast is safe because we
+  // pop immediately after.
+  Event event = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = event.time;
+  event.action();
+  return true;
+}
+
+void EventQueue::run_until_empty() {
+  while (run_next()) {
+  }
+}
+
+void EventQueue::run_until(double deadline) {
+  while (!heap_.empty() && heap_.top().time <= deadline) {
+    run_next();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace fedca::sim

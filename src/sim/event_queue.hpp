@@ -1,0 +1,57 @@
+// Discrete-event engine over virtual time.
+//
+// The FL round engine and tests schedule callbacks at virtual timestamps;
+// the queue executes them in nondecreasing time order (FIFO among equal
+// timestamps, via a monotone sequence number, so runs are deterministic).
+// Virtual seconds are the only notion of time in the whole simulator —
+// nothing ever sleeps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace fedca::sim {
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  double now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  // Schedules `action` at absolute virtual time `time` (>= now()).
+  void schedule(double time, std::function<void()> action);
+  // Schedules `action` `delay` seconds from now.
+  void schedule_in(double delay, std::function<void()> action);
+
+  // Pops and runs the earliest event, advancing now(). Returns false if
+  // the queue was empty.
+  bool run_next();
+  // Runs events until the queue drains.
+  void run_until_empty();
+  // Runs events with time <= `deadline`; now() ends at min(deadline, last
+  // event time >= previous now).
+  void run_until(double deadline);
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace fedca::sim

@@ -1,0 +1,34 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedca::sim {
+
+Link::Link(double bandwidth_mbps, double latency_seconds)
+    : bandwidth_mbps_(bandwidth_mbps), latency_seconds_(latency_seconds) {
+  if (bandwidth_mbps_ <= 0.0) throw std::invalid_argument("Link: bandwidth must be > 0");
+  if (latency_seconds_ < 0.0) throw std::invalid_argument("Link: negative latency");
+}
+
+double Link::transfer_seconds(double bytes) const {
+  if (bytes < 0.0) throw std::invalid_argument("Link::transfer_seconds: negative bytes");
+  return latency_seconds_ + bytes * 8.0 / (bandwidth_mbps_ * 1e6);
+}
+
+Transfer Link::transmit(double earliest_start, double bytes) {
+  if (earliest_start < 0.0) {
+    throw std::invalid_argument("Link::transmit: negative start time");
+  }
+  Transfer t;
+  t.start = std::max(earliest_start, busy_until_);
+  t.end = t.start + transfer_seconds(bytes);
+  busy_until_ = t.end;
+  return t;
+}
+
+double Link::peek_finish(double earliest_start, double bytes) const {
+  return std::max(earliest_start, busy_until_) + transfer_seconds(bytes);
+}
+
+}  // namespace fedca::sim

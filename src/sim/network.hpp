@@ -1,0 +1,55 @@
+// Point-to-point link model with serialized transfers.
+//
+// Matches the paper's testbed shaping: every client link is rate-limited
+// (13.7 Mbps by default, via wondershaper in the paper), and a link can
+// carry one transfer at a time — an eager layer transmission occupies the
+// uplink until it completes, delaying any transfer queued behind it. This
+// serialization is exactly what makes eager transmission interesting: it
+// buys overlap with *computation*, not with other transfers.
+//
+// The server's 10 Gbps link is modeled as non-blocking (128 clients *
+// 13.7 Mbps = 1.75 Gbps < 10 Gbps), which mirrors the EC2 setup; an
+// optional aggregate cap is provided for sensitivity studies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fedca::sim {
+
+// Time interval of one scheduled transfer.
+struct Transfer {
+  double start = 0.0;
+  double end = 0.0;
+
+  double duration() const { return end - start; }
+};
+
+class Link {
+ public:
+  // `latency_seconds` is the fixed per-transfer setup cost (RPC framing /
+  // RTT); `bandwidth_mbps` the rate limit.
+  Link(double bandwidth_mbps, double latency_seconds = 0.005);
+
+  double bandwidth_mbps() const { return bandwidth_mbps_; }
+  double busy_until() const { return busy_until_; }
+
+  // Pure function: seconds needed to move `bytes` once started.
+  double transfer_seconds(double bytes) const;
+
+  // Schedules a transfer that becomes ready at `earliest_start`; it begins
+  // when both the payload is ready and the link is free, and occupies the
+  // link until it ends. Returns the realized interval.
+  Transfer transmit(double earliest_start, double bytes);
+
+  // Earliest time a transfer ready at `earliest_start` would *finish*
+  // without committing it (for planning/deadline estimates).
+  double peek_finish(double earliest_start, double bytes) const;
+
+ private:
+  double bandwidth_mbps_;
+  double latency_seconds_;
+  double busy_until_ = 0.0;
+};
+
+}  // namespace fedca::sim

@@ -1,0 +1,117 @@
+#include "sim/shared_link.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace fedca::sim {
+
+namespace {
+constexpr double kBitsPerMb = 1e6;
+constexpr double kEps = 1e-9;
+}  // namespace
+
+SharedLink::SharedLink(double capacity_mbps, double per_flow_mbps,
+                       double latency_seconds)
+    : capacity_mbps_(capacity_mbps),
+      per_flow_mbps_(per_flow_mbps),
+      latency_seconds_(latency_seconds) {
+  if (capacity_mbps_ <= 0.0 || per_flow_mbps_ <= 0.0) {
+    throw std::invalid_argument("SharedLink: rates must be > 0");
+  }
+  if (latency_seconds_ < 0.0) {
+    throw std::invalid_argument("SharedLink: negative latency");
+  }
+}
+
+bool SharedLink::is_transparent_for(std::size_t flows) const {
+  return per_flow_mbps_ * static_cast<double>(flows) <= capacity_mbps_ + kEps;
+}
+
+std::vector<Transfer> SharedLink::schedule(
+    const std::vector<FlowRequest>& requests) const {
+  const std::size_t n = requests.size();
+  std::vector<Transfer> result(n);
+  if (n == 0) return result;
+
+  struct FlowState {
+    double start = 0.0;      // ready + latency
+    double remaining = 0.0;  // bits
+    bool active = false;
+    bool done = false;
+  };
+  std::vector<FlowState> flows(n);
+  std::vector<std::size_t> by_arrival(n);
+  std::iota(by_arrival.begin(), by_arrival.end(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (requests[i].ready_time < 0.0 || requests[i].bytes < 0.0) {
+      throw std::invalid_argument("SharedLink::schedule: negative request field");
+    }
+    flows[i].start = requests[i].ready_time + latency_seconds_;
+    flows[i].remaining = requests[i].bytes * 8.0;
+    result[i].start = flows[i].start;
+  }
+  std::sort(by_arrival.begin(), by_arrival.end(), [&](std::size_t a, std::size_t b) {
+    if (flows[a].start != flows[b].start) return flows[a].start < flows[b].start;
+    return a < b;
+  });
+
+  double now = flows[by_arrival.front()].start;
+  std::size_t next_arrival = 0;
+  std::size_t active_count = 0;
+  std::size_t done_count = 0;
+
+  while (done_count < n) {
+    // Admit flows that have started by `now`.
+    while (next_arrival < n && flows[by_arrival[next_arrival]].start <= now + kEps) {
+      FlowState& f = flows[by_arrival[next_arrival]];
+      if (f.remaining <= kEps) {
+        // Zero-byte transfer: finishes the instant it starts.
+        f.done = true;
+        ++done_count;
+        result[by_arrival[next_arrival]].end = f.start;
+      } else {
+        f.active = true;
+        ++active_count;
+      }
+      ++next_arrival;
+    }
+    if (active_count == 0) {
+      if (next_arrival >= n) break;  // all remaining are done
+      now = flows[by_arrival[next_arrival]].start;
+      continue;
+    }
+    // Current fair rate per active flow.
+    const double rate_bits =
+        std::min(per_flow_mbps_, capacity_mbps_ / static_cast<double>(active_count)) *
+        kBitsPerMb;
+    // Next event: earliest completion under this rate, or next arrival.
+    double next_event = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (flows[i].active) {
+        next_event = std::min(next_event, now + flows[i].remaining / rate_bits);
+      }
+    }
+    if (next_arrival < n) {
+      next_event = std::min(next_event, flows[by_arrival[next_arrival]].start);
+    }
+    // Drain until the event.
+    const double drained = (next_event - now) * rate_bits;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!flows[i].active) continue;
+      flows[i].remaining -= drained;
+      if (flows[i].remaining <= kEps) {
+        flows[i].active = false;
+        flows[i].done = true;
+        --active_count;
+        ++done_count;
+        result[i].end = next_event;
+      }
+    }
+    now = next_event;
+  }
+  return result;
+}
+
+}  // namespace fedca::sim

@@ -1,0 +1,34 @@
+#include "tensor/init.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedca::tensor {
+
+void kaiming_normal(Tensor& t, std::size_t fan_in, util::Rng& rng) {
+  if (fan_in == 0) throw std::invalid_argument("kaiming_normal: fan_in must be > 0");
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+}
+
+void xavier_uniform(Tensor& t, std::size_t fan_in, std::size_t fan_out, util::Rng& rng) {
+  if (fan_in + fan_out == 0) {
+    throw std::invalid_argument("xavier_uniform: fan_in + fan_out must be > 0");
+  }
+  const double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-a, a));
+  }
+}
+
+void fanin_uniform(Tensor& t, std::size_t fan_in, util::Rng& rng) {
+  if (fan_in == 0) throw std::invalid_argument("fanin_uniform: fan_in must be > 0");
+  const double a = 1.0 / std::sqrt(static_cast<double>(fan_in));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-a, a));
+  }
+}
+
+}  // namespace fedca::tensor

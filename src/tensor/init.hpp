@@ -1,0 +1,23 @@
+// Parameter initialization schemes.
+//
+// The substrate mirrors the initializers PyTorch's defaults would give the
+// paper's models: Kaiming/He for conv + ReLU stacks, Xavier/Glorot for
+// linear and recurrent gates, uniform fan-in for biases.
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace fedca::tensor {
+
+// Fills `t` with N(0, sqrt(2 / fan_in)) — He initialization.
+void kaiming_normal(Tensor& t, std::size_t fan_in, util::Rng& rng);
+
+// Fills `t` with U(-a, a), a = sqrt(6 / (fan_in + fan_out)) — Glorot.
+void xavier_uniform(Tensor& t, std::size_t fan_in, std::size_t fan_out, util::Rng& rng);
+
+// Fills `t` with U(-1/sqrt(fan_in), 1/sqrt(fan_in)) — PyTorch's default
+// linear/conv bias initialization.
+void fanin_uniform(Tensor& t, std::size_t fan_in, util::Rng& rng);
+
+}  // namespace fedca::tensor

@@ -1,0 +1,263 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fedca::tensor {
+
+namespace {
+
+void require_equal_size(std::span<const float> x, std::span<const float> y,
+                        const char* what) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument(std::string(what) + ": size mismatch (" +
+                                std::to_string(x.size()) + " vs " +
+                                std::to_string(y.size()) + ")");
+  }
+}
+
+}  // namespace
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  require_equal_size(x, y, "axpy");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void copy(std::span<const float> x, std::span<float> y) {
+  require_equal_size(x, y, "copy");
+  std::copy(x.begin(), x.end(), y.begin());
+}
+
+void scale(float alpha, std::span<float> y) {
+  for (auto& v : y) v *= alpha;
+}
+
+double dot(std::span<const float> x, std::span<const float> y) {
+  require_equal_size(x, y, "dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  return acc;
+}
+
+double l2_norm(std::span<const float> x) { return std::sqrt(dot(x, x)); }
+
+double l1_norm(std::span<const float> x) {
+  double acc = 0.0;
+  for (const auto v : x) acc += std::abs(static_cast<double>(v));
+  return acc;
+}
+
+double cosine_similarity(std::span<const float> x, std::span<const float> y) {
+  require_equal_size(x, y, "cosine_similarity");
+  const double nx = l2_norm(x);
+  const double ny = l2_norm(y);
+  if (nx == 0.0 || ny == 0.0) return 0.0;
+  return dot(x, y) / (nx * ny);
+}
+
+double magnitude_similarity(std::span<const float> x, std::span<const float> y) {
+  const double nx = l2_norm(x);
+  const double ny = l2_norm(y);
+  if (nx == 0.0 && ny == 0.0) return 1.0;
+  const double lo = std::min(nx, ny);
+  const double hi = std::max(nx, ny);
+  if (hi == 0.0) return 1.0;
+  return lo / hi;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument("add: shape mismatch " + shape_to_string(a.shape()) +
+                                " vs " + shape_to_string(b.shape()));
+  }
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument("sub: shape mismatch " + shape_to_string(a.shape()) +
+                                " vs " + shape_to_string(b.shape()));
+  }
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+void add_scaled(Tensor& a, float alpha, const Tensor& b) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument("add_scaled: shape mismatch " +
+                                shape_to_string(a.shape()) + " vs " +
+                                shape_to_string(b.shape()));
+  }
+  axpy(alpha, b.data(), a.data());
+}
+
+namespace {
+
+void require_matrix(const Tensor& t, const char* name) {
+  if (t.ndim() != 2) {
+    throw std::invalid_argument(std::string("gemm: ") + name + " must be 2-D, got " +
+                                shape_to_string(t.shape()));
+  }
+}
+
+}  // namespace
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& c) {
+  require_matrix(a, "A");
+  require_matrix(b, "B");
+  require_matrix(c, "C");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k || c.dim(0) != m || c.dim(1) != n) {
+    throw std::invalid_argument("gemm: incompatible shapes A" + shape_to_string(a.shape()) +
+                                " B" + shape_to_string(b.shape()) + " C" +
+                                shape_to_string(c.shape()));
+  }
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  // ikj loop order: streaming access to B and C rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    std::fill(crow, crow + n, 0.0f);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aval = pa[i * k + kk];
+      if (aval == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c) {
+  require_matrix(a, "A");
+  require_matrix(b, "B");
+  require_matrix(c, "C");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k || c.dim(0) != m || c.dim(1) != n) {
+    throw std::invalid_argument("gemm_nt: incompatible shapes A" +
+                                shape_to_string(a.shape()) + " B" +
+                                shape_to_string(b.shape()) + " C" +
+                                shape_to_string(c.shape()));
+  }
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(arow[kk]) * static_cast<double>(brow[kk]);
+      }
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+}
+
+void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c) {
+  require_matrix(a, "A");
+  require_matrix(b, "B");
+  require_matrix(c, "C");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != m || c.dim(0) != k || c.dim(1) != n) {
+    throw std::invalid_argument("gemm_tn: incompatible shapes A" +
+                                shape_to_string(a.shape()) + " B" +
+                                shape_to_string(b.shape()) + " C" +
+                                shape_to_string(c.shape()));
+  }
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  std::fill(pc, pc + k * n, 0.0f);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    const float* brow = pb + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aval = arow[kk];
+      if (aval == 0.0f) continue;
+      float* crow = pc + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+void im2col(std::span<const float> image, const Conv2dGeometry& geo,
+            std::span<float> columns) {
+  const std::size_t oh = geo.out_h();
+  const std::size_t ow = geo.out_w();
+  const std::size_t expected_image = geo.in_channels * geo.in_h * geo.in_w;
+  const std::size_t expected_cols = geo.in_channels * geo.kernel_h * geo.kernel_w * oh * ow;
+  if (image.size() != expected_image) {
+    throw std::invalid_argument("im2col: image size " + std::to_string(image.size()) +
+                                " != expected " + std::to_string(expected_image));
+  }
+  if (columns.size() != expected_cols) {
+    throw std::invalid_argument("im2col: columns size " + std::to_string(columns.size()) +
+                                " != expected " + std::to_string(expected_cols));
+  }
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < geo.in_channels; ++c) {
+    for (std::size_t kh = 0; kh < geo.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < geo.kernel_w; ++kw, ++row) {
+        float* out_row = columns.data() + row * oh * ow;
+        for (std::size_t y = 0; y < oh; ++y) {
+          const long in_y = static_cast<long>(y * geo.stride + kh) - static_cast<long>(geo.pad);
+          for (std::size_t x = 0; x < ow; ++x) {
+            const long in_x = static_cast<long>(x * geo.stride + kw) - static_cast<long>(geo.pad);
+            float v = 0.0f;
+            if (in_y >= 0 && in_y < static_cast<long>(geo.in_h) && in_x >= 0 &&
+                in_x < static_cast<long>(geo.in_w)) {
+              v = image[(c * geo.in_h + static_cast<std::size_t>(in_y)) * geo.in_w +
+                        static_cast<std::size_t>(in_x)];
+            }
+            out_row[y * ow + x] = v;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(std::span<const float> columns, const Conv2dGeometry& geo,
+            std::span<float> image_grad) {
+  const std::size_t oh = geo.out_h();
+  const std::size_t ow = geo.out_w();
+  const std::size_t expected_image = geo.in_channels * geo.in_h * geo.in_w;
+  const std::size_t expected_cols = geo.in_channels * geo.kernel_h * geo.kernel_w * oh * ow;
+  if (image_grad.size() != expected_image) {
+    throw std::invalid_argument("col2im: image size " + std::to_string(image_grad.size()) +
+                                " != expected " + std::to_string(expected_image));
+  }
+  if (columns.size() != expected_cols) {
+    throw std::invalid_argument("col2im: columns size " + std::to_string(columns.size()) +
+                                " != expected " + std::to_string(expected_cols));
+  }
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < geo.in_channels; ++c) {
+    for (std::size_t kh = 0; kh < geo.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < geo.kernel_w; ++kw, ++row) {
+        const float* in_row = columns.data() + row * oh * ow;
+        for (std::size_t y = 0; y < oh; ++y) {
+          const long in_y = static_cast<long>(y * geo.stride + kh) - static_cast<long>(geo.pad);
+          if (in_y < 0 || in_y >= static_cast<long>(geo.in_h)) continue;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const long in_x = static_cast<long>(x * geo.stride + kw) - static_cast<long>(geo.pad);
+            if (in_x < 0 || in_x >= static_cast<long>(geo.in_w)) continue;
+            image_grad[(c * geo.in_h + static_cast<std::size_t>(in_y)) * geo.in_w +
+                       static_cast<std::size_t>(in_x)] += in_row[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fedca::tensor

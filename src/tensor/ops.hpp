@@ -1,0 +1,85 @@
+// Numerical kernels over raw float spans and Tensors.
+//
+// Two audiences share these kernels:
+//   * the nn/ substrate (gemm, im2col, elementwise math), and
+//   * the FedCA core (dot products, norms, cosine similarity — Eqs. 1 & 6
+//     of the paper are built directly from `dot`, `l2_norm`, and
+//     `cosine_similarity`).
+// All span-based functions require equal lengths and are checked.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace fedca::tensor {
+
+// ---- Span kernels (the FL layer works on flat update vectors) ----
+
+// y += alpha * x
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+// y = x (sizes must match)
+void copy(std::span<const float> x, std::span<float> y);
+// elementwise y *= alpha
+void scale(float alpha, std::span<float> y);
+// sum_i x[i] * y[i], accumulated in double for stability.
+double dot(std::span<const float> x, std::span<const float> y);
+// sqrt(dot(x, x))
+double l2_norm(std::span<const float> x);
+// sum_i |x[i]|
+double l1_norm(std::span<const float> x);
+// Cosine similarity of two equal-length vectors; returns 0 when either has
+// zero norm (the convention the FedCA retransmission check needs: an
+// all-zero eager update never "matches" a non-zero final one).
+double cosine_similarity(std::span<const float> x, std::span<const float> y);
+// min(|x|,|y|) / max(|x|,|y|) with |.| = L2 norm; 1 when both are zero,
+// 0 when exactly one is zero. This is the magnitude-similarity factor of
+// the paper's statistical-progress metric (Eq. 1).
+double magnitude_similarity(std::span<const float> x, std::span<const float> y);
+
+// ---- Tensor helpers ----
+
+// out = a + b (same shape)
+Tensor add(const Tensor& a, const Tensor& b);
+// out = a - b (same shape)
+Tensor sub(const Tensor& a, const Tensor& b);
+// a += alpha * b (same shape), in place.
+void add_scaled(Tensor& a, float alpha, const Tensor& b);
+
+// C = A(mxk) * B(kxn); all row-major 2-D tensors. C must be m x n and is
+// overwritten.
+void gemm(const Tensor& a, const Tensor& b, Tensor& c);
+// C = A(mxk) * B(kxn)^T convenience variants used by dense backward passes.
+// C(mxn) = A(mxk) * B(nxk)^T
+void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c);
+// C(kxn) = A(mxk)^T * B(mxn)
+void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c);
+
+// ---- Convolution lowering ----
+
+// Geometry of a 2-D convolution with square behaviour per-axis.
+struct Conv2dGeometry {
+  std::size_t in_channels = 0;
+  std::size_t in_h = 0;
+  std::size_t in_w = 0;
+  std::size_t kernel_h = 0;
+  std::size_t kernel_w = 0;
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+
+  std::size_t out_h() const { return (in_h + 2 * pad - kernel_h) / stride + 1; }
+  std::size_t out_w() const { return (in_w + 2 * pad - kernel_w) / stride + 1; }
+};
+
+// im2col: expands one image (C,H,W flattened in `image`) to a matrix of
+// shape (C*kh*kw) x (out_h*out_w), written into `columns` (row-major, must be
+// pre-sized). Padding reads as zero.
+void im2col(std::span<const float> image, const Conv2dGeometry& geo,
+            std::span<float> columns);
+// col2im: scatters gradients from column layout back to image layout
+// (accumulating into `image_grad`, which must be pre-sized and may hold
+// prior accumulation).
+void col2im(std::span<const float> columns, const Conv2dGeometry& geo,
+            std::span<float> image_grad);
+
+}  // namespace fedca::tensor

@@ -1,0 +1,81 @@
+// Dense row-major tensor of 32-bit floats.
+//
+// This is the storage type underneath the neural-network substrate. Design
+// goals, in order: correctness, debuggability (bounds-checked at() in all
+// builds), and enough performance for laptop-scale federated experiments.
+// There is no view/aliasing machinery — every Tensor owns its buffer — which
+// keeps update accounting in the FL layer trivially correct.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fedca::tensor {
+
+// Shape of a tensor; empty shape denotes a scalar-less, empty tensor.
+using Shape = std::vector<std::size_t>;
+
+// Number of elements a shape describes (product of dims; 1-dim minimum not
+// enforced — an empty shape has 0 elements by convention here).
+std::size_t shape_numel(const Shape& shape);
+
+// "[2, 3, 4]" — for error messages and logs.
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  // Empty tensor (no elements, empty shape).
+  Tensor() = default;
+  // Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+  // Tensor filled with `fill`.
+  Tensor(Shape shape, float fill);
+  // Tensor adopting existing data; data.size() must equal shape_numel(shape).
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value) { return Tensor(std::move(shape), value); }
+  // 1-D tensor from an initializer list — handy in tests.
+  static Tensor of(std::initializer_list<float> values);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t ndim() const { return shape_.size(); }
+  std::size_t numel() const { return data_.size(); }
+  std::size_t dim(std::size_t axis) const;
+  bool empty() const { return data_.empty(); }
+  // Bytes of payload if serialized as float32 — used by the network
+  // simulator to cost transfers.
+  std::size_t byte_size() const { return data_.size() * sizeof(float); }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+  float* raw() { return data_.data(); }
+  const float* raw() const { return data_.data(); }
+
+  // Bounds-checked element access by flat index.
+  float& at(std::size_t flat_index);
+  float at(std::size_t flat_index) const;
+  // Bounds-checked 2-D access (requires ndim() == 2).
+  float& at(std::size_t row, std::size_t col);
+  float at(std::size_t row, std::size_t col) const;
+  // Unchecked flat access for kernels.
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  // Reinterprets the buffer with a new shape of equal numel.
+  Tensor reshaped(Shape new_shape) const;
+  void fill(float value);
+  // Sets all elements to 0.
+  void zero() { fill(0.0f); }
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace fedca::tensor

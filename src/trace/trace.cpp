@@ -1,0 +1,115 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fedca::trace {
+
+std::vector<DeviceProfile> synthesize_profiles(std::size_t num_clients,
+                                               const HeterogeneityOptions& options,
+                                               util::Rng& rng) {
+  if (options.min_speed <= 0.0 || options.max_speed < options.min_speed) {
+    throw std::invalid_argument("synthesize_profiles: bad speed bounds");
+  }
+  std::vector<DeviceProfile> profiles;
+  profiles.reserve(num_clients);
+  for (std::size_t i = 0; i < num_clients; ++i) {
+    DeviceProfile p;
+    // mu = 0 puts the lognormal median at exactly 1.0 (the "median
+    // device"); sigma controls the FedScale-like spread.
+    p.base_speed = std::clamp(rng.lognormal(0.0, options.speed_sigma),
+                              options.min_speed, options.max_speed);
+    p.bandwidth_mbps = options.bandwidth_mbps;
+    profiles.push_back(p);
+  }
+  return profiles;
+}
+
+SpeedTimeline::SpeedTimeline(double base_speed, const DynamicityOptions& options,
+                             util::Rng rng)
+    : base_speed_(base_speed), options_(options), rng_(rng) {
+  if (base_speed_ <= 0.0) {
+    throw std::invalid_argument("SpeedTimeline: base_speed must be > 0");
+  }
+  // Randomize the initial mode so clients are not phase-aligned.
+  next_is_slow_ = rng_.uniform() < 0.5;
+  if (!options_.enabled) {
+    boundaries_.push_back(0.0);
+    speeds_.push_back(base_speed_);
+    horizon_ = std::numeric_limits<double>::infinity();
+    return;
+  }
+  extend_until(1.0);
+}
+
+void SpeedTimeline::extend_until(double t) {
+  if (!options_.enabled) return;
+  while (horizon_ <= t) {
+    const bool slow = next_is_slow_;
+    next_is_slow_ = !next_is_slow_;
+    const double duration = slow ? rng_.gamma(options_.slow_shape, options_.slow_scale)
+                                 : rng_.gamma(options_.fast_shape, options_.fast_scale);
+    const double slowdown =
+        slow ? rng_.uniform(options_.slowdown_lo, options_.slowdown_hi) : 1.0;
+    boundaries_.push_back(horizon_);
+    speeds_.push_back(base_speed_ / slowdown);
+    horizon_ += std::max(duration, 1e-6);
+  }
+}
+
+double SpeedTimeline::speed_at(double t) {
+  if (t < 0.0) throw std::invalid_argument("SpeedTimeline::speed_at: negative time");
+  if (!options_.enabled) return base_speed_;
+  extend_until(t);
+  // Last boundary <= t.
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), t);
+  const std::size_t idx = static_cast<std::size_t>(it - boundaries_.begin()) - 1;
+  return speeds_[idx];
+}
+
+double SpeedTimeline::finish_time(double start, double work) {
+  if (start < 0.0 || work < 0.0) {
+    throw std::invalid_argument("SpeedTimeline::finish_time: negative input");
+  }
+  if (work == 0.0) return start;
+  if (!options_.enabled) return start + work / base_speed_;
+
+  double t = start;
+  double remaining = work;
+  for (;;) {
+    extend_until(t);
+    const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), t);
+    const std::size_t idx = static_cast<std::size_t>(it - boundaries_.begin()) - 1;
+    const double speed = speeds_[idx];
+    const double seg_end = (idx + 1 < boundaries_.size())
+                               ? boundaries_[idx + 1]
+                               : horizon_;
+    const double available = (seg_end - t) * speed;  // work doable in this segment
+    if (available >= remaining) return t + remaining / speed;
+    remaining -= available;
+    t = seg_end;
+  }
+}
+
+double SpeedTimeline::average_speed(double t0, double t1) {
+  if (t1 <= t0) throw std::invalid_argument("SpeedTimeline::average_speed: empty interval");
+  if (!options_.enabled) return base_speed_;
+  extend_until(t1);
+  double work = 0.0;
+  double t = t0;
+  while (t < t1) {
+    const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), t);
+    const std::size_t idx = static_cast<std::size_t>(it - boundaries_.begin()) - 1;
+    const double seg_end = (idx + 1 < boundaries_.size())
+                               ? std::min(boundaries_[idx + 1], t1)
+                               : t1;
+    work += (seg_end - t) * speeds_[idx];
+    t = seg_end;
+  }
+  return work / (t1 - t0);
+}
+
+}  // namespace fedca::trace

@@ -1,0 +1,95 @@
+// Synthetic device traces: heterogeneity and dynamicity.
+//
+// The paper emulates system conditions on EC2 (Sec. 5.1):
+//   * Heterogeneity — clients' average speeds mirror the FedScale trace's
+//     device-speed ratios. The real trace ships with FedScale; here we
+//     synthesize speed factors from a lognormal whose dispersion matches
+//     the mobile-device compute spread FedScale reports (fastest/slowest
+//     well over an order of magnitude apart).
+//   * Dynamicity — each client toggles between a fast mode and a slow
+//     mode; durations are Gamma(2,40) / Gamma(2,6) seconds respectively,
+//     and each slow period's slowdown ratio is drawn from U(1,5).
+//   * Bandwidth — every client uplink/downlink is 13.7 Mbps (FedScale's
+//     average), the server link 10 Gbps.
+//
+// SpeedTimeline turns this stochastic process into a deterministic
+// piecewise-constant function of virtual time, with exact integration of
+// "how long does W unit-speed-seconds of work take starting at time t" —
+// the primitive the round engine uses to schedule per-iteration compute.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fedca::trace {
+
+// Static (per-experiment) characteristics of one device.
+struct DeviceProfile {
+  // Relative average compute speed, 1.0 = median device; iteration time =
+  // nominal_iteration_seconds / effective speed.
+  double base_speed = 1.0;
+  // Client link bandwidth in megabits per second (both directions).
+  double bandwidth_mbps = 13.7;
+};
+
+struct HeterogeneityOptions {
+  // Lognormal sigma of the speed factor (mu fixed so the median is 1.0).
+  double speed_sigma = 0.6;
+  double min_speed = 0.15;
+  double max_speed = 6.0;
+  double bandwidth_mbps = 13.7;
+};
+
+// One profile per client, deterministic in `rng`.
+std::vector<DeviceProfile> synthesize_profiles(std::size_t num_clients,
+                                               const HeterogeneityOptions& options,
+                                               util::Rng& rng);
+
+struct DynamicityOptions {
+  bool enabled = true;
+  // Gamma(shape, scale) durations in seconds (paper: Γ(2,40) fast, Γ(2,6) slow).
+  double fast_shape = 2.0;
+  double fast_scale = 40.0;
+  double slow_shape = 2.0;
+  double slow_scale = 6.0;
+  // Slow-mode slowdown ratio ~ U(lo, hi) (paper: U(1,5)).
+  double slowdown_lo = 1.0;
+  double slowdown_hi = 5.0;
+};
+
+// Piecewise-constant effective speed of one client over virtual time.
+// Segments are generated lazily and cached, so queries may move forward
+// arbitrarily far; queries never need to be monotone.
+class SpeedTimeline {
+ public:
+  SpeedTimeline(double base_speed, const DynamicityOptions& options, util::Rng rng);
+
+  double base_speed() const { return base_speed_; }
+
+  // Effective speed at virtual time t (>= 0).
+  double speed_at(double t);
+
+  // Virtual time at which `work` unit-speed-seconds of compute finish when
+  // started at `start`. Exact integration across mode boundaries;
+  // work == 0 returns start.
+  double finish_time(double start, double work);
+
+  // Average effective speed over [t0, t1] (for diagnostics/tests).
+  double average_speed(double t0, double t1);
+
+ private:
+  void extend_until(double t);
+
+  double base_speed_;
+  DynamicityOptions options_;
+  util::Rng rng_;
+  // boundaries_[i] is the start of segment i; speeds_[i] its effective
+  // speed; horizon_ is the end of the last generated segment.
+  std::vector<double> boundaries_;
+  std::vector<double> speeds_;
+  double horizon_ = 0.0;
+  bool next_is_slow_ = false;
+};
+
+}  // namespace fedca::trace

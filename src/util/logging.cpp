@@ -1,0 +1,70 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace fedca::util {
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1: not yet initialized from environment.
+std::mutex g_write_mutex;
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("FEDCA_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  return parse_log_level(env);
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const LogLevel from_env = level_from_env();
+    int expected = -1;
+    g_level.compare_exchange_strong(expected, static_cast<int>(from_env),
+                                    std::memory_order_relaxed);
+    v = g_level.load(std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off" || name == "none") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void log_line(LogLevel level, std::string_view component, std::string_view message) {
+  if (level < log_level() || level == LogLevel::kOff) return;
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+               static_cast<int>(log_level_name(level).size()), log_level_name(level).data(),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace fedca::util

@@ -1,0 +1,78 @@
+// Minimal leveled logger for the FedCA library.
+//
+// Logging goes to stderr so that experiment/bench binaries can reserve
+// stdout for machine-readable tables. The level is process-global and can
+// be set programmatically or through the FEDCA_LOG environment variable
+// (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace fedca::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Returns the current process-global log level. The first call reads the
+// FEDCA_LOG environment variable; defaults to kWarn so tests stay quiet.
+LogLevel log_level();
+
+// Overrides the process-global log level.
+void set_log_level(LogLevel level);
+
+// Parses a level name ("info", "debug", ...). Unknown names yield kWarn.
+LogLevel parse_log_level(std::string_view name);
+
+// Human-readable name of a level ("INFO", ...).
+std::string_view log_level_name(LogLevel level);
+
+// Emits one formatted line "[LEVEL] component: message" if `level` is at or
+// above the global threshold. Thread-safe (single write syscall per line).
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+namespace detail {
+
+// Stream-style builder so call sites can write
+//   FEDCA_LOG_INFO("server") << "round " << r << " done";
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace fedca::util
+
+#define FEDCA_LOG_TRACE(component) \
+  ::fedca::util::detail::LogStream(::fedca::util::LogLevel::kTrace, (component))
+#define FEDCA_LOG_DEBUG(component) \
+  ::fedca::util::detail::LogStream(::fedca::util::LogLevel::kDebug, (component))
+#define FEDCA_LOG_INFO(component) \
+  ::fedca::util::detail::LogStream(::fedca::util::LogLevel::kInfo, (component))
+#define FEDCA_LOG_WARN(component) \
+  ::fedca::util::detail::LogStream(::fedca::util::LogLevel::kWarn, (component))
+#define FEDCA_LOG_ERROR(component) \
+  ::fedca::util::detail::LogStream(::fedca::util::LogLevel::kError, (component))

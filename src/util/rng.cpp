@@ -1,0 +1,158 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+namespace fedca::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // SplitMix64 seeding guarantees a non-degenerate xoshiro state even for
+  // seed == 0.
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // Mix the parent's state with the stream id through SplitMix64 so that
+  // distinct stream ids give decorrelated children and the parent state is
+  // left untouched.
+  std::uint64_t mix = state_[0] ^ rotl(state_[2], 13) ^ (stream_id * 0xD1342543DE82EF95ULL);
+  return Rng(splitmix64(mix));
+}
+
+double Rng::uniform() {
+  // 53 high-quality bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  assert(n > 0);
+  // Lemire-style rejection-free-ish bounded draw with rejection to remove
+  // modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::gamma(double shape, double scale) {
+  assert(shape > 0.0 && scale > 0.0);
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+    const double u = std::max(uniform(), 1e-300);
+    return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia-Tsang squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return scale * d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return scale * d * v;
+    }
+  }
+}
+
+std::vector<double> Rng::dirichlet(double alpha, std::size_t dims) {
+  return dirichlet(std::vector<double>(dims, alpha));
+}
+
+std::vector<double> Rng::dirichlet(const std::vector<double>& alphas) {
+  std::vector<double> draws(alphas.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    draws[i] = gamma(alphas[i], 1.0);
+    total += draws[i];
+  }
+  if (total <= 0.0) {
+    // Numerically possible for tiny alpha: fall back to a single random
+    // category carrying all mass, which is the alpha -> 0 limit.
+    std::fill(draws.begin(), draws.end(), 0.0);
+    draws[static_cast<std::size_t>(uniform_index(draws.size()))] = 1.0;
+    return draws;
+  }
+  for (auto& d : draws) d /= total;
+  return draws;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  assert(k <= n);
+  // Floyd's algorithm.
+  std::set<std::size_t> chosen;
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t t = static_cast<std::size_t>(uniform_index(j + 1));
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  return std::vector<std::size_t>(chosen.begin(), chosen.end());
+}
+
+}  // namespace fedca::util

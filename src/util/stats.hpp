@@ -1,0 +1,86 @@
+// Summary statistics, percentiles, and empirical CDFs.
+//
+// The evaluation section of the paper reports CDFs (Fig. 8), means
+// (Table 1's per-round time), and distribution-shaped traces; this module
+// provides the numerical plumbing for those reports.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace fedca::util {
+
+// Running mean / variance accumulator (Welford). Numerically stable for
+// long experiment streams.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Population variance; 0 when fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Linear-interpolated percentile of a sample, q in [0, 1]. The input is
+// copied and sorted. Empty input returns 0.
+double percentile(std::vector<double> samples, double q);
+
+// Empirical CDF of a sample set, evaluated at each distinct sample value.
+// Returns (value, fraction <= value) pairs sorted by value. Fig. 8 of the
+// paper is exactly this applied to trigger iterations.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  // Fraction of samples <= x. 0 for x below all samples.
+  double at(double x) const;
+  std::size_t sample_count() const { return sorted_.size(); }
+
+  // Evaluates the CDF on `points` evenly spaced values covering
+  // [lo, hi]; used by the fig8 bench to print plottable series.
+  std::vector<std::pair<double, double>> series(double lo, double hi,
+                                                std::size_t points) const;
+  // CDF steps at the sample values themselves.
+  std::vector<std::pair<double, double>> steps() const;
+
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// Histogram over [lo, hi) with `bins` equal-width buckets; values outside
+// the range are clamped into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count_in_bin(std::size_t bin) const { return counts_.at(bin); }
+  double bin_lower(std::size_t bin) const;
+  double bin_upper(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace fedca::util

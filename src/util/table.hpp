@@ -1,0 +1,44 @@
+// CSV and aligned-text table writers.
+//
+// Every bench binary emits its results twice: as an aligned human-readable
+// table on stdout (mirroring the paper's tables/figures), and optionally as
+// CSV for plotting. Keeping the writers here guarantees all experiments
+// share one stable output format.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fedca::util {
+
+// Accumulates rows of string cells and renders them.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Number formatting helper: fixed `digits` decimals.
+  static std::string fmt(double value, int digits = 3);
+
+  void add_row(std::vector<std::string> cells);
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  // Renders with column alignment and a separator under the header.
+  void print(std::ostream& os) const;
+  // RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void write_csv(std::ostream& os) const;
+  // Writes CSV to `path`; throws std::runtime_error on I/O failure.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Convenience for bench headers: "== <title> ==" plus a config echo line.
+void print_section(std::ostream& os, const std::string& title,
+                   const std::string& config_line = "");
+
+}  // namespace fedca::util

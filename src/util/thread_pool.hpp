@@ -1,0 +1,54 @@
+// Fixed-size thread pool with a parallel_for convenience.
+//
+// The round engine trains many simulated clients per round; their local SGD
+// passes are independent, so on multi-core hosts we farm them out here.
+// Determinism note: every unit of work owns its forked Rng stream, so the
+// *results* are identical regardless of worker count or interleaving — the
+// pool only changes wall-clock time, never experiment output.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fedca::util {
+
+class ThreadPool {
+ public:
+  // `workers` == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  // Enqueues one task; returns a future for its completion. Exceptions
+  // thrown by the task are delivered through the future.
+  std::future<void> submit(std::function<void()> task);
+
+  // Runs body(i) for i in [0, n) across the pool and blocks until all are
+  // done. Rethrows the first task exception. Chunked statically so results
+  // and exception choice are deterministic.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  // Process-wide shared pool (lazily constructed, one per process).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace fedca::util

@@ -1,0 +1,127 @@
+// Eager transmission triggers (Eq. 5) and error-feedback retransmission
+// selection (Eq. 6).
+#include <gtest/gtest.h>
+
+#include "core/eager.hpp"
+
+namespace fedca {
+namespace {
+
+core::EagerOptions default_options() {
+  core::EagerOptions o;
+  o.stabilize_threshold = 0.95;
+  o.retransmit_threshold = 0.6;
+  return o;
+}
+
+TEST(EagerTrigger, FiresWhenCurveCrossesThreshold) {
+  const std::vector<core::ProgressCurve> curves{
+      {0.5, 0.9, 0.96, 1.0},   // crosses at tau = 3
+      {0.2, 0.4, 0.6, 1.0}};   // never before the end
+  std::vector<bool> sent(2, false);
+  const core::EagerOptions opts = default_options();
+  EXPECT_TRUE(core::layers_to_transmit(curves, 1, sent, opts).empty());
+  EXPECT_TRUE(core::layers_to_transmit(curves, 2, sent, opts).empty());
+  EXPECT_EQ(core::layers_to_transmit(curves, 3, sent, opts),
+            (std::vector<std::size_t>{0}));
+  EXPECT_EQ(core::layers_to_transmit(curves, 4, sent, opts),
+            (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(EagerTrigger, SentLayersAreSkipped) {
+  const std::vector<core::ProgressCurve> curves{{0.96, 1.0}, {0.97, 1.0}};
+  std::vector<bool> sent{true, false};
+  EXPECT_EQ(core::layers_to_transmit(curves, 1, sent, default_options()),
+            (std::vector<std::size_t>{1}));
+}
+
+TEST(EagerTrigger, DisabledReturnsNothing) {
+  const std::vector<core::ProgressCurve> curves{{0.99, 1.0}};
+  std::vector<bool> sent{false};
+  core::EagerOptions opts = default_options();
+  opts.enabled = false;
+  EXPECT_TRUE(core::layers_to_transmit(curves, 1, sent, opts).empty());
+}
+
+TEST(EagerTrigger, ThresholdIsInclusive) {
+  const std::vector<core::ProgressCurve> curves{{0.95, 1.0}};
+  std::vector<bool> sent{false};
+  EXPECT_EQ(core::layers_to_transmit(curves, 1, sent, default_options()).size(), 1u);
+}
+
+TEST(EagerTrigger, SizeMismatchThrows) {
+  const std::vector<core::ProgressCurve> curves{{1.0}};
+  std::vector<bool> sent(2, false);
+  EXPECT_THROW(core::layers_to_transmit(curves, 1, sent, default_options()),
+               std::invalid_argument);
+}
+
+TEST(Retransmission, TriggeredByLowCosine) {
+  const core::EagerOptions opts = default_options();
+  tensor::Tensor final_update({2}, std::vector<float>{1.0f, 0.0f});
+  tensor::Tensor aligned({2}, std::vector<float>{2.0f, 0.0f});     // cos = 1
+  tensor::Tensor orthogonal({2}, std::vector<float>{0.0f, 1.0f});  // cos = 0
+  EXPECT_FALSE(core::needs_retransmission(final_update, aligned, opts));
+  EXPECT_TRUE(core::needs_retransmission(final_update, orthogonal, opts));
+}
+
+TEST(Retransmission, ZeroEagerValueAlwaysRetransmits) {
+  // cosine(0, x) = 0 < T_r: a degenerate eager transfer gets corrected.
+  const core::EagerOptions opts = default_options();
+  tensor::Tensor final_update({2}, std::vector<float>{1.0f, 1.0f});
+  tensor::Tensor zero({2});
+  EXPECT_TRUE(core::needs_retransmission(final_update, zero, opts));
+}
+
+TEST(Retransmission, DisabledNeverRetransmits) {
+  core::EagerOptions opts = default_options();
+  opts.retransmit = false;
+  tensor::Tensor final_update({2}, std::vector<float>{1.0f, 0.0f});
+  tensor::Tensor orthogonal({2}, std::vector<float>{0.0f, 1.0f});
+  EXPECT_FALSE(core::needs_retransmission(final_update, orthogonal, opts));
+}
+
+TEST(Retransmission, SelectionWalksEagerRecords) {
+  const core::EagerOptions opts = default_options();
+  nn::ModelState final_update;
+  final_update.names = {"a", "b"};
+  final_update.tensors = {tensor::Tensor({2}, std::vector<float>{1.0f, 0.0f}),
+                          tensor::Tensor({2}, std::vector<float>{0.0f, 1.0f})};
+  std::vector<fl::EagerRecord> eager(2);
+  eager[0].layer = 0;
+  eager[0].value = tensor::Tensor({2}, std::vector<float>{1.0f, 0.1f});  // aligned
+  eager[1].layer = 1;
+  eager[1].value = tensor::Tensor({2}, std::vector<float>{1.0f, 0.0f});  // orthogonal
+  EXPECT_EQ(core::select_retransmissions(final_update, eager, opts),
+            (std::vector<std::size_t>{1}));
+}
+
+TEST(Retransmission, BadLayerIndexThrows) {
+  const core::EagerOptions opts = default_options();
+  nn::ModelState final_update;
+  final_update.tensors = {tensor::Tensor({1})};
+  std::vector<fl::EagerRecord> eager(1);
+  eager[0].layer = 5;
+  eager[0].value = tensor::Tensor({1});
+  EXPECT_THROW(core::select_retransmissions(final_update, eager, opts),
+               std::invalid_argument);
+}
+
+// Threshold sweep (Fig. 10b's parameters): higher T_r retransmits more.
+class RetransThresholdTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RetransThresholdTest, MonotoneInThreshold) {
+  core::EagerOptions opts = default_options();
+  opts.retransmit_threshold = GetParam();
+  // cos between these two is ~0.707.
+  tensor::Tensor final_update({2}, std::vector<float>{1.0f, 0.0f});
+  tensor::Tensor diagonal({2}, std::vector<float>{1.0f, 1.0f});
+  const bool retrans = core::needs_retransmission(final_update, diagonal, opts);
+  EXPECT_EQ(retrans, GetParam() > 0.7072);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperThresholds, RetransThresholdTest,
+                         ::testing::Values(0.6, 0.8, 0.5, 0.9));
+
+}  // namespace
+}  // namespace fedca

@@ -1,0 +1,177 @@
+// Periodical-sampling profiler: anchor cadence, sampled sizes, curve
+// fidelity, memory accounting.
+#include <gtest/gtest.h>
+
+#include "core/sampling_profiler.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/ops.hpp"
+
+namespace fedca {
+namespace {
+
+std::unique_ptr<nn::Sequential> two_layer_model(util::Rng& rng) {
+  auto model = std::make_unique<nn::Sequential>();
+  model->add(std::make_unique<nn::Linear>("fc1", 8, 16, rng));
+  model->add(std::make_unique<nn::Linear>("fc2", 16, 4, rng));
+  return model;
+}
+
+TEST(Profiler, AnchorCadence) {
+  core::ProfilerOptions opts;
+  opts.period = 10;
+  core::SamplingProfiler profiler(opts, util::Rng(1));
+  EXPECT_TRUE(profiler.is_anchor_round(0));   // bootstrap anchor
+  EXPECT_FALSE(profiler.is_anchor_round(1));
+  EXPECT_FALSE(profiler.is_anchor_round(9));
+  EXPECT_TRUE(profiler.is_anchor_round(10));
+  EXPECT_TRUE(profiler.is_anchor_round(20));
+}
+
+TEST(Profiler, SampleBudgetIsMinOfFractionAndCap) {
+  util::Rng rng(2);
+  auto model = two_layer_model(rng);  // layers: 128, 16, 64, 4 scalars
+  core::ProfilerOptions opts;
+  opts.layer_fraction = 0.5;
+  opts.layer_cap = 100;
+  core::SamplingProfiler profiler(opts, util::Rng(3));
+  profiler.begin_round(0, nn::capture_state(*model));
+  profiler.record_iteration(*model);
+  profiler.finish_round();
+  // min(50 % of 128, 100) = 64; min(8, 100) = 8; min(32, 100) = 32;
+  // min(2, 100) = 2.
+  EXPECT_EQ(profiler.sampled_param_count(), 64u + 8u + 32u + 2u);
+}
+
+TEST(Profiler, CapBindsForLargeLayers) {
+  util::Rng rng(4);
+  auto model = std::make_unique<nn::Sequential>();
+  model->add(std::make_unique<nn::Linear>("big", 100, 100, rng));  // 10100 params
+  core::SamplingProfiler profiler(core::ProfilerOptions{}, util::Rng(5));
+  profiler.begin_round(0, nn::capture_state(*model));
+  profiler.record_iteration(*model);
+  profiler.finish_round();
+  EXPECT_EQ(profiler.sampled_param_count(), 100u + 50u);  // weight capped, bias 50 %
+}
+
+TEST(Profiler, CurvesEndAtOneAndHaveRoundLength) {
+  util::Rng rng(6);
+  auto model = two_layer_model(rng);
+  nn::ModelState start = nn::capture_state(*model);
+  core::SamplingProfiler profiler(core::ProfilerOptions{}, util::Rng(7));
+  profiler.begin_round(0, start);
+  const std::size_t K = 12;
+  util::Rng step(8);
+  for (std::size_t it = 0; it < K; ++it) {
+    // Simulate SGD drift: decaying random steps.
+    for (nn::Parameter* p : model->parameters()) {
+      for (std::size_t i = 0; i < p->value.numel(); ++i) {
+        p->value[i] += static_cast<float>(step.normal(0.0, 0.1 / (1.0 + it)));
+      }
+    }
+    profiler.record_iteration(*model);
+  }
+  profiler.finish_round();
+  ASSERT_TRUE(profiler.has_curves());
+  EXPECT_EQ(profiler.anchor_round(), 0u);
+  ASSERT_EQ(profiler.layer_curves().size(), 4u);
+  for (const auto& curve : profiler.layer_curves()) {
+    ASSERT_EQ(curve.size(), K);
+    EXPECT_NEAR(curve.back(), 1.0, 1e-9);
+    for (const double p : curve) {
+      EXPECT_LE(p, 1.0 + 1e-9);
+      EXPECT_GE(p, -1.0 - 1e-9);
+    }
+  }
+  ASSERT_EQ(profiler.model_curve().size(), K);
+  EXPECT_NEAR(profiler.model_curve().back(), 1.0, 1e-9);
+}
+
+TEST(Profiler, SampledCurveApproximatesFullCurve) {
+  // The Fig. 5 claim: the sampled-parameter curve tracks the full-layer
+  // curve. Build a layer whose parameters drift coherently, profile with
+  // sampling, and compare against the exact curve computed from full
+  // snapshots.
+  util::Rng rng(9);
+  auto model = std::make_unique<nn::Sequential>();
+  model->add(std::make_unique<nn::Linear>("fc", 40, 40, rng, /*bias=*/false));
+  nn::ModelState start = nn::capture_state(*model);
+
+  core::ProfilerOptions opts;
+  opts.layer_cap = 100;  // 1600 params -> 100 sampled
+  core::SamplingProfiler profiler(opts, util::Rng(10));
+  profiler.begin_round(0, start);
+
+  const std::size_t K = 15;
+  std::vector<std::vector<float>> full_snapshots;
+  util::Rng step(11);
+  nn::Parameter* p = model->parameters()[0];
+  for (std::size_t it = 0; it < K; ++it) {
+    for (std::size_t i = 0; i < p->value.numel(); ++i) {
+      p->value[i] += static_cast<float>(step.normal(0.002, 0.05 / (1.0 + it)));
+    }
+    std::vector<float> snap(p->value.numel());
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+      snap[i] = p->value[i] - start.tensors[0][i];
+    }
+    full_snapshots.push_back(std::move(snap));
+    profiler.record_iteration(*model);
+  }
+  profiler.finish_round();
+  const core::ProgressCurve exact = core::curve_from_snapshots(full_snapshots);
+  const core::ProgressCurve sampled = profiler.layer_curves()[0];
+  ASSERT_EQ(exact.size(), sampled.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_NEAR(sampled[i], exact[i], 0.08) << "iteration " << i;
+  }
+}
+
+TEST(Profiler, MemoryAccountingMatchesSampledCount) {
+  util::Rng rng(12);
+  auto model = two_layer_model(rng);
+  core::SamplingProfiler profiler(core::ProfilerOptions{}, util::Rng(13));
+  profiler.begin_round(0, nn::capture_state(*model));
+  profiler.record_iteration(*model);
+  profiler.finish_round();
+  const std::size_t n = profiler.sampled_param_count();
+  EXPECT_EQ(profiler.profiling_bytes(125), n * 4u * 125u);
+}
+
+TEST(Profiler, RecordingProtocolErrors) {
+  util::Rng rng(14);
+  auto model = two_layer_model(rng);
+  core::SamplingProfiler profiler(core::ProfilerOptions{}, util::Rng(15));
+  EXPECT_THROW(profiler.record_iteration(*model), std::logic_error);
+  EXPECT_THROW(profiler.finish_round(), std::logic_error);
+  profiler.begin_round(0, nn::capture_state(*model));
+  EXPECT_THROW(profiler.begin_round(0, nn::capture_state(*model)), std::logic_error);
+}
+
+TEST(Profiler, EmptyAnchorKeepsPreviousCurves) {
+  util::Rng rng(16);
+  auto model = two_layer_model(rng);
+  core::SamplingProfiler profiler(core::ProfilerOptions{}, util::Rng(17));
+  profiler.begin_round(0, nn::capture_state(*model));
+  profiler.record_iteration(*model);
+  profiler.finish_round();
+  ASSERT_TRUE(profiler.has_curves());
+  profiler.begin_round(10, nn::capture_state(*model));
+  profiler.finish_round();  // zero iterations recorded
+  EXPECT_TRUE(profiler.has_curves());
+  EXPECT_EQ(profiler.anchor_round(), 0u);  // previous knowledge retained
+}
+
+TEST(Profiler, OptionValidation) {
+  core::ProfilerOptions bad;
+  bad.period = 0;
+  EXPECT_THROW(core::SamplingProfiler(bad, util::Rng(1)), std::invalid_argument);
+  core::ProfilerOptions bad2;
+  bad2.layer_fraction = 0.0;
+  EXPECT_THROW(core::SamplingProfiler(bad2, util::Rng(1)), std::invalid_argument);
+  core::ProfilerOptions bad3;
+  bad3.layer_cap = 0;
+  EXPECT_THROW(core::SamplingProfiler(bad3, util::Rng(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedca

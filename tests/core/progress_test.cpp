@@ -1,0 +1,132 @@
+// Statistical progress metric (Eq. 1) and marginal benefit (Eq. 2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/progress.hpp"
+#include "util/rng.hpp"
+
+namespace fedca {
+namespace {
+
+TEST(Progress, IdenticalVectorsGiveOne) {
+  const std::vector<float> g{1.0f, -2.0f, 3.0f};
+  EXPECT_DOUBLE_EQ(core::statistical_progress(g, g), 1.0);
+}
+
+TEST(Progress, ProportionalVectorCombinesCosineAndMagnitude) {
+  const std::vector<float> half{0.5f, 1.0f};
+  const std::vector<float> full{1.0f, 2.0f};
+  // cosine = 1, magnitude ratio = 0.5.
+  EXPECT_NEAR(core::statistical_progress(half, full), 0.5, 1e-12);
+}
+
+TEST(Progress, OrthogonalVectorsGiveZero) {
+  const std::vector<float> a{1.0f, 0.0f};
+  const std::vector<float> b{0.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(core::statistical_progress(a, b), 0.0);
+}
+
+TEST(Progress, OppositeVectorsGiveMinusOne) {
+  const std::vector<float> a{1.0f, 1.0f};
+  const std::vector<float> b{-1.0f, -1.0f};
+  EXPECT_DOUBLE_EQ(core::statistical_progress(a, b), -1.0);
+}
+
+TEST(Progress, ZeroAccumulatedGivesZero) {
+  const std::vector<float> zero{0.0f, 0.0f};
+  const std::vector<float> full{1.0f, 2.0f};
+  EXPECT_DOUBLE_EQ(core::statistical_progress(zero, full), 0.0);
+}
+
+TEST(Progress, OvershootReducesProgress) {
+  // An accumulated update LARGER than the full round's is penalized by the
+  // magnitude term (min/max), exactly Eq. 1's design.
+  const std::vector<float> overshoot{2.0f, 4.0f};
+  const std::vector<float> full{1.0f, 2.0f};
+  EXPECT_NEAR(core::statistical_progress(overshoot, full), 0.5, 1e-12);
+}
+
+// Property sweep: |P| <= 1 for random vectors (Eq. 1's "always less than
+// 1" remark, modulo the P = 1 equality at i = K).
+class ProgressBoundTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProgressBoundTest, AlwaysInUnitBall) {
+  util::Rng rng(GetParam());
+  for (int rep = 0; rep < 200; ++rep) {
+    std::vector<float> a(16), b(16);
+    for (auto& v : a) v = static_cast<float>(rng.normal(0.0, 2.0));
+    for (auto& v : b) v = static_cast<float>(rng.normal(0.0, 2.0));
+    const double p = core::statistical_progress(a, b);
+    ASSERT_LE(p, 1.0 + 1e-12);
+    ASSERT_GE(p, -1.0 - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProgressBoundTest, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Curve, FromSnapshotsEndsAtOne) {
+  std::vector<std::vector<float>> snapshots{
+      {0.2f, 0.1f}, {0.6f, 0.5f}, {1.0f, 1.0f}};
+  const core::ProgressCurve curve = core::curve_from_snapshots(snapshots);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve.back(), 1.0);
+  // Monotone here because snapshots grow proportionally toward the final.
+  EXPECT_LT(curve[0], curve[1]);
+  EXPECT_LT(curve[1], curve[2]);
+}
+
+TEST(Curve, EmptyAndMismatch) {
+  EXPECT_TRUE(core::curve_from_snapshots({}).empty());
+  std::vector<std::vector<float>> bad{{1.0f}, {1.0f, 2.0f}};
+  EXPECT_THROW(core::curve_from_snapshots(bad), std::invalid_argument);
+}
+
+TEST(Curve, AtClampsAndZeroIndex) {
+  const core::ProgressCurve curve{0.3, 0.7, 1.0};
+  EXPECT_DOUBLE_EQ(core::curve_at(curve, 0), 0.0);
+  EXPECT_DOUBLE_EQ(core::curve_at(curve, 1), 0.3);
+  EXPECT_DOUBLE_EQ(core::curve_at(curve, 3), 1.0);
+  EXPECT_DOUBLE_EQ(core::curve_at(curve, 99), 1.0);
+  EXPECT_DOUBLE_EQ(core::curve_at({}, 5), 0.0);
+}
+
+TEST(MarginalBenefit, UsesCurveDifference) {
+  const core::ProgressCurve curve{0.5, 0.8, 0.9, 1.0};
+  // b_2 = max(0.8 - 0.5, (1 - 0.8) / (4 - 2)) = max(0.3, 0.1) = 0.3.
+  EXPECT_NEAR(core::marginal_benefit(curve, 2, 4), 0.3, 1e-12);
+}
+
+TEST(MarginalBenefit, LowerBoundKicksInOnFlatOrIrregularCurves) {
+  // Dip at tau = 2: raw difference negative, lower bound saves it (Eq. 2's
+  // "curve irregularity" clause).
+  const core::ProgressCurve curve{0.8, 0.7, 0.9, 1.0};
+  // b_2 = max(-0.1, (1 - 0.7) / 2) = 0.15.
+  EXPECT_NEAR(core::marginal_benefit(curve, 2, 4), 0.15, 1e-12);
+}
+
+TEST(MarginalBenefit, LastIterationHasNoLowerBound) {
+  const core::ProgressCurve curve{0.5, 1.0};
+  // tau = K = 2: remaining = 0, so only the raw difference counts.
+  EXPECT_NEAR(core::marginal_benefit(curve, 2, 2), 0.5, 1e-12);
+}
+
+TEST(MarginalBenefit, FirstIterationUsesPZero) {
+  const core::ProgressCurve curve{0.6, 1.0};
+  // b_1 = max(0.6 - 0, (1 - 0.6) / 1) = 0.6.
+  EXPECT_NEAR(core::marginal_benefit(curve, 1, 2), 0.6, 1e-12);
+}
+
+TEST(MarginalBenefit, TauZeroThrows) {
+  EXPECT_THROW(core::marginal_benefit({0.5}, 0, 4), std::invalid_argument);
+}
+
+TEST(MarginalBenefit, ExpectedRemainingImprovementIsExact) {
+  // Flat curve stuck at 0.4 with 6 remaining iterations: each is credited
+  // (1 - 0.4) / remaining.
+  const core::ProgressCurve curve{0.4, 0.4, 0.4, 0.4, 0.4, 0.4, 0.4, 0.4, 0.4, 0.4};
+  EXPECT_NEAR(core::marginal_benefit(curve, 4, 10), 0.6 / 6.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace fedca

@@ -1,0 +1,122 @@
+// Marginal cost (Eq. 3), net benefit (Eq. 4), early-stop predicate.
+#include <gtest/gtest.h>
+
+#include "core/utility.hpp"
+#include "fl/types.hpp"
+
+namespace fedca {
+namespace {
+
+TEST(MarginalCost, BetaScalingBeforeDeadline) {
+  // c = beta * t / T before the deadline.
+  EXPECT_NEAR(core::marginal_cost(50.0, 100.0, 0.01), 0.005, 1e-12);
+  EXPECT_NEAR(core::marginal_cost(100.0, 100.0, 0.01), 0.01, 1e-12);
+}
+
+TEST(MarginalCost, FullPenaltyAfterDeadline) {
+  // c = t / T past the deadline.
+  EXPECT_NEAR(core::marginal_cost(150.0, 100.0, 0.01), 1.5, 1e-12);
+}
+
+TEST(MarginalCost, DiscontinuityAtDeadlineIsSharp) {
+  const double before = core::marginal_cost(100.0, 100.0, 0.01);
+  const double after = core::marginal_cost(100.0001, 100.0, 0.01);
+  EXPECT_GT(after / before, 50.0);  // cost rises ~100x across T_R
+}
+
+TEST(MarginalCost, NoDeadlineMeansNoCost) {
+  EXPECT_DOUBLE_EQ(core::marginal_cost(10.0, fl::kNoDeadline, 0.01), 0.0);
+  EXPECT_DOUBLE_EQ(core::marginal_cost(10.0, 0.0, 0.01), 0.0);
+  EXPECT_DOUBLE_EQ(core::marginal_cost(10.0, -5.0, 0.01), 0.0);
+}
+
+TEST(MarginalCost, NegativeElapsedThrows) {
+  EXPECT_THROW(core::marginal_cost(-1.0, 10.0, 0.01), std::invalid_argument);
+}
+
+TEST(NetBenefit, IsDifference) {
+  EXPECT_DOUBLE_EQ(core::net_benefit(0.3, 0.1), 0.2);
+  EXPECT_LT(core::net_benefit(0.05, 0.2), 0.0);
+}
+
+class EarlyStopTest : public ::testing::Test {
+ protected:
+  // Steep-then-flat curve typical of Fig. 2: most progress in early iters.
+  core::ProgressCurve curve_{0.5, 0.8, 0.9, 0.95, 0.97, 0.98, 0.99, 0.995, 0.999, 1.0};
+  core::EarlyStopOptions options_{};  // enabled, beta = 0.01, min_iter = 1
+};
+
+TEST_F(EarlyStopTest, NeverStopsWithoutDeadline) {
+  for (std::size_t tau = 1; tau < 10; ++tau) {
+    EXPECT_FALSE(core::should_stop_after(curve_, tau, 10, 100.0, fl::kNoDeadline,
+                                         options_));
+  }
+}
+
+TEST_F(EarlyStopTest, NeverStopsWithoutCurve) {
+  EXPECT_FALSE(core::should_stop_after({}, 5, 10, 1000.0, 10.0, options_));
+}
+
+TEST_F(EarlyStopTest, DisabledNeverStops) {
+  core::EarlyStopOptions off = options_;
+  off.enabled = false;
+  EXPECT_FALSE(core::should_stop_after(curve_, 5, 10, 1e9, 1.0, off));
+}
+
+TEST_F(EarlyStopTest, StopsWhenPastDeadlineOnFlatTail) {
+  // Past the deadline the cost is t/T >= 1.2, far above the tail benefit.
+  EXPECT_TRUE(core::should_stop_after(curve_, 6, 10, 120.0, 100.0, options_));
+}
+
+TEST_F(EarlyStopTest, KeepsTrainingOnSteepHead) {
+  // At tau = 1 the next iteration is worth 0.3; pre-deadline cost with
+  // beta = 0.01 is tiny.
+  EXPECT_FALSE(core::should_stop_after(curve_, 1, 10, 20.0, 100.0, options_));
+}
+
+TEST_F(EarlyStopTest, MinIterationsGuards) {
+  core::EarlyStopOptions opts = options_;
+  opts.min_iterations = 8;
+  // Would stop at tau = 6 (past deadline), but the floor forbids it.
+  EXPECT_FALSE(core::should_stop_after(curve_, 6, 10, 120.0, 100.0, opts));
+  EXPECT_TRUE(core::should_stop_after(curve_, 8, 10, 120.0, 100.0, opts));
+}
+
+TEST_F(EarlyStopTest, NeverStopsAtFinalIteration) {
+  EXPECT_FALSE(core::should_stop_after(curve_, 10, 10, 1e9, 1.0, options_));
+}
+
+TEST_F(EarlyStopTest, LargerBetaStopsEarlier) {
+  // Fig. 10a's observation: beta = 0.1 discourages pre-deadline work.
+  core::EarlyStopOptions gentle = options_;   // 0.01
+  core::EarlyStopOptions harsh = options_;
+  harsh.beta = 0.5;
+  // Pre-deadline at tau = 6 (benefit of iter 7 ~ max(0.01, 0.005) = 0.01):
+  // cost 0.01 * 0.9 = 0.009 -> keep training; cost 0.5 * 0.9 = 0.45 -> stop.
+  EXPECT_FALSE(core::should_stop_after(curve_, 6, 10, 90.0, 100.0, gentle));
+  EXPECT_TRUE(core::should_stop_after(curve_, 6, 10, 90.0, 100.0, harsh));
+}
+
+TEST_F(EarlyStopTest, CrossoverExistsAndIsUnique) {
+  // Sweep tau with fixed per-iteration pace: the first stop index is the
+  // crossover the paper describes; after it the decision stays "stop"
+  // under growing elapsed time.
+  const double deadline = 50.0;
+  const double per_iter = 10.0;
+  std::size_t first_stop = 0;
+  for (std::size_t tau = 1; tau < 10; ++tau) {
+    const double elapsed = per_iter * static_cast<double>(tau);
+    if (core::should_stop_after(curve_, tau, 10, elapsed, deadline, options_)) {
+      first_stop = tau;
+      break;
+    }
+  }
+  ASSERT_GT(first_stop, 0u);
+  for (std::size_t tau = first_stop; tau < 10; ++tau) {
+    const double elapsed = per_iter * static_cast<double>(tau);
+    EXPECT_TRUE(core::should_stop_after(curve_, tau, 10, elapsed, deadline, options_));
+  }
+}
+
+}  // namespace
+}  // namespace fedca

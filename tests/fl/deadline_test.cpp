@@ -1,0 +1,84 @@
+// FedBalancer-style deadline estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fl/deadline.hpp"
+#include "fl/types.hpp"
+
+namespace fedca {
+namespace {
+
+TEST(Deadline, NoObservationsMeansNoDeadline) {
+  fl::DeadlineEstimator est;
+  EXPECT_FALSE(est.has_estimate());
+  EXPECT_TRUE(std::isinf(est.estimate()));
+}
+
+TEST(Deadline, EmptyObservationIgnored) {
+  fl::DeadlineEstimator est;
+  est.observe_round({});
+  EXPECT_FALSE(est.has_estimate());
+}
+
+TEST(Deadline, MaximizesCountOverDeadlineRatio) {
+  fl::DeadlineEstimator est(3, 0.1);
+  // 9 clients at ~10 s, one straggler at 100 s: best ratio is at 10 s
+  // (9/10 = 0.9 > 10/100 = 0.1).
+  est.observe_round({10, 10, 10, 10, 10, 10, 10, 10, 10, 100});
+  EXPECT_NEAR(est.estimate(), 10.0, 1e-9);
+}
+
+TEST(Deadline, MinFractionFloorProtectsQuorum) {
+  // With min_fraction 0.9, the deadline cannot exclude more than 10 %:
+  // even though 1 s has the best count/T ratio, 90 % of clients need 50 s.
+  fl::DeadlineEstimator est(3, 0.9);
+  est.observe_round({1, 50, 50, 50, 50, 50, 50, 50, 50, 50});
+  EXPECT_GE(est.estimate(), 50.0 - 1e-9);
+}
+
+TEST(Deadline, WindowEvictsOldRounds) {
+  fl::DeadlineEstimator est(1, 0.5);
+  est.observe_round({100, 100, 100});
+  EXPECT_NEAR(est.estimate(), 100.0, 1e-9);
+  est.observe_round({5, 5, 5});
+  EXPECT_NEAR(est.estimate(), 5.0, 1e-9);  // old round evicted
+}
+
+TEST(Deadline, BlendsRecentRounds) {
+  fl::DeadlineEstimator est(2, 0.5);
+  est.observe_round({10, 10});
+  est.observe_round({20, 20});
+  const double d = est.estimate();
+  EXPECT_GE(d, 10.0);
+  EXPECT_LE(d, 20.0);
+}
+
+TEST(Deadline, UniformDurationsPickThemselves) {
+  fl::DeadlineEstimator est;
+  est.observe_round({7, 7, 7, 7});
+  EXPECT_NEAR(est.estimate(), 7.0, 1e-9);
+}
+
+TEST(Deadline, Validation) {
+  EXPECT_THROW(fl::DeadlineEstimator(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(fl::DeadlineEstimator(3, 0.0), std::invalid_argument);
+  EXPECT_THROW(fl::DeadlineEstimator(3, 1.5), std::invalid_argument);
+}
+
+TEST(Deadline, DeadlineNeitherTooEagerNorTooLax) {
+  // The paper's intent: T_R "will neither be too high to discourage the
+  // early stopping of clients, nor too low to collect enough local
+  // updates". With a long tail, the estimate should land near the bulk.
+  fl::DeadlineEstimator est(3, 0.5);
+  std::vector<double> durations;
+  for (int i = 0; i < 80; ++i) durations.push_back(10.0 + 0.05 * i);
+  for (int i = 0; i < 20; ++i) durations.push_back(60.0 + i);
+  est.observe_round(durations);
+  const double d = est.estimate();
+  EXPECT_GE(d, 10.0);
+  EXPECT_LE(d, 20.0);  // well below the straggler tail
+}
+
+}  // namespace
+}  // namespace fedca

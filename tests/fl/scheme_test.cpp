@@ -1,0 +1,123 @@
+// Scheme base behaviour, FedProx optimizer override, FedAda planning.
+#include <gtest/gtest.h>
+
+#include "fl/fedada.hpp"
+#include "fl/scheme.hpp"
+
+namespace fedca {
+namespace {
+
+TEST(Scheme, DefaultPlanUsesNominalIterations) {
+  fl::FedAvgScheme scheme;
+  scheme.bind(5, 40);
+  const fl::RoundPlan plan = scheme.plan_round(0);
+  EXPECT_EQ(plan.deadline, fl::kNoDeadline);
+  ASSERT_EQ(plan.iterations.size(), 5u);
+  for (const auto k : plan.iterations) EXPECT_EQ(k, 40u);
+}
+
+TEST(Scheme, PlanBeforeBindThrows) {
+  fl::FedAvgScheme scheme;
+  EXPECT_THROW(scheme.plan_round(0), std::logic_error);
+}
+
+TEST(Scheme, DefaultPolicyIsNoop) {
+  fl::FedAvgScheme scheme;
+  scheme.bind(2, 10);
+  fl::ClientPolicy& policy = scheme.client_policy(0);
+  fl::IterationView view;
+  const fl::IterationDecision d = policy.after_iteration(view);
+  EXPECT_FALSE(d.stop);
+  EXPECT_TRUE(d.eager_layers.empty());
+  EXPECT_TRUE(policy.select_retransmissions(nn::ModelState{}, {}).empty());
+}
+
+TEST(FedProx, RaisesProxMu) {
+  fl::FedProxScheme scheme(0.02);
+  nn::SgdOptions base{0.05, 0.001, 0.0};
+  const nn::SgdOptions out = scheme.local_optimizer(base);
+  EXPECT_DOUBLE_EQ(out.prox_mu, 0.02);
+  EXPECT_DOUBLE_EQ(out.learning_rate, 0.05);
+  EXPECT_DOUBLE_EQ(out.weight_decay, 0.001);
+}
+
+TEST(FedAvg, DoesNotTouchOptimizer) {
+  fl::FedAvgScheme scheme;
+  nn::SgdOptions base{0.05, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(scheme.local_optimizer(base).prox_mu, 0.0);
+}
+
+fl::RoundRecord fake_round(const std::vector<double>& durations,
+                           const std::vector<double>& per_iter_seconds,
+                           std::size_t iterations) {
+  fl::RoundRecord record;
+  record.start_time = 0.0;
+  for (std::size_t c = 0; c < durations.size(); ++c) {
+    fl::ClientRoundResult r;
+    r.client_id = c;
+    r.arrival_time = durations[c];
+    r.iterations_run = iterations;
+    r.compute_seconds = per_iter_seconds[c] * static_cast<double>(iterations);
+    record.clients.push_back(std::move(r));
+  }
+  record.end_time = *std::max_element(durations.begin(), durations.end());
+  return record;
+}
+
+TEST(FedAda, WarmupRunsFullWorkload) {
+  fl::FedAdaScheme scheme;
+  scheme.bind(3, 100);
+  const fl::RoundPlan plan = scheme.plan_round(0);
+  EXPECT_EQ(plan.deadline, fl::kNoDeadline);
+  for (const auto k : plan.iterations) EXPECT_EQ(k, 100u);
+}
+
+TEST(FedAda, TrimsStragglersAfterObservation) {
+  fl::FedAdaScheme scheme;
+  scheme.bind(4, 100);
+  // Clients 0-2 fast (0.1 s/iter -> 10 s rounds), client 3 slow (1 s/iter).
+  scheme.observe_round(fake_round({10, 10, 10, 100}, {0.1, 0.1, 0.1, 1.0}, 100));
+  const fl::RoundPlan plan = scheme.plan_round(1);
+  ASSERT_NE(plan.deadline, fl::kNoDeadline);
+  // Fast clients keep (nearly) full workloads; the straggler is trimmed.
+  EXPECT_EQ(plan.iterations[0], 100u);
+  EXPECT_LT(plan.iterations[3], 100u);
+  EXPECT_GE(plan.iterations[3], 20u);  // min_fraction floor
+}
+
+TEST(FedAda, UniformClusterKeepsFullWorkload) {
+  fl::FedAdaScheme scheme;
+  scheme.bind(3, 50);
+  scheme.observe_round(fake_round({10, 10, 10}, {0.2, 0.2, 0.2}, 50));
+  const fl::RoundPlan plan = scheme.plan_round(1);
+  for (const auto k : plan.iterations) {
+    EXPECT_GE(k, 40u);  // near-full: deadline fits everyone
+  }
+}
+
+TEST(FedAda, SpeedEstimateIsEwma) {
+  fl::FedAdaScheme scheme;
+  scheme.bind(1, 10);
+  scheme.observe_round(fake_round({1.0}, {0.1}, 10));
+  EXPECT_NEAR(scheme.estimated_iteration_seconds(0), 0.1, 1e-9);
+  scheme.observe_round(fake_round({3.0}, {0.3}, 10));
+  EXPECT_NEAR(scheme.estimated_iteration_seconds(0), 0.2, 1e-9);  // 0.5 blend
+}
+
+TEST(FedAda, OptionValidation) {
+  fl::FedAdaOptions bad;
+  bad.tradeoff = 1.5;
+  EXPECT_THROW(fl::FedAdaScheme{bad}, std::invalid_argument);
+  fl::FedAdaOptions bad2;
+  bad2.min_fraction = 0.0;
+  EXPECT_THROW(fl::FedAdaScheme{bad2}, std::invalid_argument);
+}
+
+TEST(FedAda, NameIsStable) {
+  EXPECT_EQ(fl::FedAdaScheme().name(), "FedAda");
+  EXPECT_EQ(fl::FedAvgScheme().name(), "FedAvg");
+  EXPECT_EQ(fl::FedProxScheme().name(), "FedProx");
+}
+
+}  // namespace
+}  // namespace fedca

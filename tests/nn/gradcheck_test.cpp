@@ -1,0 +1,162 @@
+// Finite-difference gradient verification for every layer type.
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/lstm.hpp"
+#include "nn/norm.hpp"
+#include "nn/sequential.hpp"
+#include "tests/nn/gradcheck_util.hpp"
+#include "util/rng.hpp"
+
+namespace fedca {
+namespace {
+
+using testing::expect_gradients_match;
+
+nn::Tensor random_input(tensor::Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  return t;
+}
+
+TEST(GradCheck, Linear) {
+  util::Rng rng(1);
+  nn::Linear layer("fc", 7, 5, rng);
+  expect_gradients_match(layer, random_input({4, 7}, 11));
+}
+
+TEST(GradCheck, LinearNoBias) {
+  util::Rng rng(2);
+  nn::Linear layer("fc", 6, 3, rng, /*bias=*/false);
+  expect_gradients_match(layer, random_input({3, 6}, 12));
+}
+
+TEST(GradCheck, ReLU) {
+  nn::ReLU layer;
+  // Offset inputs away from the kink to keep finite differences valid.
+  nn::Tensor input = random_input({4, 9}, 13);
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    if (std::abs(input[i]) < 0.05f) input[i] += 0.2f;
+  }
+  expect_gradients_match(layer, input);
+}
+
+TEST(GradCheck, Tanh) {
+  nn::Tanh layer;
+  expect_gradients_match(layer, random_input({4, 9}, 14));
+}
+
+TEST(GradCheck, Sigmoid) {
+  nn::Sigmoid layer;
+  expect_gradients_match(layer, random_input({4, 9}, 15));
+}
+
+TEST(GradCheck, Conv2dNoPad) {
+  util::Rng rng(3);
+  nn::Conv2d layer("conv", 2, 3, 6, 6, 3, 1, 0, rng);
+  expect_gradients_match(layer, random_input({2, 2, 6, 6}, 16));
+}
+
+TEST(GradCheck, Conv2dPadded) {
+  util::Rng rng(4);
+  nn::Conv2d layer("conv", 2, 4, 5, 5, 3, 1, 1, rng);
+  expect_gradients_match(layer, random_input({2, 2, 5, 5}, 17));
+}
+
+TEST(GradCheck, Conv2dStrided) {
+  util::Rng rng(5);
+  nn::Conv2d layer("conv", 3, 4, 6, 6, 3, 2, 1, rng);
+  expect_gradients_match(layer, random_input({2, 3, 6, 6}, 18));
+}
+
+TEST(GradCheck, Conv2d1x1) {
+  util::Rng rng(6);
+  nn::Conv2d layer("conv", 3, 5, 4, 4, 1, 1, 0, rng, /*bias=*/false);
+  expect_gradients_match(layer, random_input({2, 3, 4, 4}, 19));
+}
+
+TEST(GradCheck, MaxPool) {
+  nn::MaxPool2d layer(2, 4, 4, 2);
+  expect_gradients_match(layer, random_input({2, 2, 4, 4}, 20));
+}
+
+TEST(GradCheck, GlobalAvgPool) {
+  nn::GlobalAvgPool layer(3, 4, 4);
+  expect_gradients_match(layer, random_input({2, 3, 4, 4}, 21));
+}
+
+TEST(GradCheck, BatchNormTraining) {
+  nn::BatchNorm2d layer("bn", 3, 3, 3);
+  layer.set_training(true);
+  expect_gradients_match(layer, random_input({4, 3, 3, 3}, 22), 1e-3, 4e-2);
+}
+
+TEST(GradCheck, BatchNormEval) {
+  nn::BatchNorm2d layer("bn", 2, 3, 3);
+  // Populate running stats with one training pass, then check eval mode.
+  layer.set_training(true);
+  nn::Tensor warm = random_input({4, 2, 3, 3}, 23);
+  layer.forward(warm);
+  layer.set_training(false);
+  expect_gradients_match(layer, random_input({3, 2, 3, 3}, 24));
+}
+
+TEST(GradCheck, Lstm) {
+  util::Rng rng(7);
+  nn::LSTM layer("rnn", 4, 6, 5, rng);
+  expect_gradients_match(layer, random_input({3, 5, 4}, 25), 1e-3, 3e-2);
+}
+
+TEST(GradCheck, SequentialStack) {
+  util::Rng rng(8);
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->add(std::make_unique<nn::Linear>("fc1", 6, 8, rng));
+  seq->add(std::make_unique<nn::Tanh>());
+  seq->add(std::make_unique<nn::Linear>("fc2", 8, 4, rng));
+  expect_gradients_match(*seq, random_input({3, 6}, 26));
+}
+
+TEST(GradCheck, ResidualIdentity) {
+  util::Rng rng(9);
+  auto main = std::make_unique<nn::Sequential>();
+  main->add(std::make_unique<nn::Linear>("fc1", 5, 5, rng));
+  main->add(std::make_unique<nn::Tanh>());
+  nn::Residual block(std::move(main));
+  expect_gradients_match(block, random_input({3, 5}, 27));
+}
+
+TEST(GradCheck, ResidualProjection) {
+  util::Rng rng(10);
+  auto main = std::make_unique<nn::Sequential>();
+  main->add(std::make_unique<nn::Linear>("fc1", 5, 7, rng));
+  auto shortcut = std::make_unique<nn::Linear>("proj", 5, 7, rng, /*bias=*/false);
+  nn::Residual block(std::move(main), std::move(shortcut));
+  expect_gradients_match(block, random_input({3, 5}, 28));
+}
+
+// Softmax cross-entropy gradient against finite differences of the loss.
+TEST(GradCheck, SoftmaxCrossEntropy) {
+  nn::Tensor logits = random_input({4, 5}, 29);
+  const std::vector<int> labels = {1, 0, 4, 2};
+  const nn::LossResult base = nn::softmax_cross_entropy(logits, labels);
+  const double eps = 1e-3;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + static_cast<float>(eps);
+    const double up = nn::softmax_cross_entropy(logits, labels).loss;
+    logits[i] = saved - static_cast<float>(eps);
+    const double down = nn::softmax_cross_entropy(logits, labels).loss;
+    logits[i] = saved;
+    const double fd = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(base.grad_logits[i], fd, 1e-3) << "logit index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fedca

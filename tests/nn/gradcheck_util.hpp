@@ -1,0 +1,82 @@
+// Finite-difference gradient checking helpers shared by nn tests.
+//
+// Verifies both parameter gradients and input gradients of a module
+// against central differences of a scalar loss L = sum(w_out * out).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "tensor/ops.hpp"
+
+namespace fedca::testing {
+
+// Deterministic pseudo-random weighting so the scalarized loss exercises
+// every output element differently.
+inline nn::Tensor loss_weights(const tensor::Shape& shape) {
+  nn::Tensor w(shape);
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    w[i] = 0.25f + 0.5f * static_cast<float>((i * 2654435761u % 1000)) / 1000.0f;
+  }
+  return w;
+}
+
+inline double weighted_sum(const nn::Tensor& out, const nn::Tensor& w) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    acc += static_cast<double>(out[i]) * static_cast<double>(w[i]);
+  }
+  return acc;
+}
+
+// Checks d(weighted_sum(module(input)))/d(params) and /d(input).
+// `epsilon` is the FD step; `tolerance` the max allowed |analytic - fd|
+// relative to max(1, |fd|).
+inline void expect_gradients_match(nn::Module& module, nn::Tensor input,
+                                   double epsilon = 1e-3, double tolerance = 2e-2,
+                                   std::size_t max_checked = 64) {
+  const nn::Tensor out0 = module.forward(input);
+  const nn::Tensor w = loss_weights(out0.shape());
+
+  module.zero_grad();
+  module.forward(input);
+  nn::Tensor grad_out = w;  // dL/dout = w
+  const nn::Tensor grad_in = module.backward(grad_out);
+
+  // Parameter gradients.
+  for (nn::Parameter* p : module.parameters()) {
+    const std::size_t stride = std::max<std::size_t>(1, p->numel() / max_checked);
+    for (std::size_t i = 0; i < p->numel(); i += stride) {
+      const float saved = p->value[i];
+      p->value[i] = saved + static_cast<float>(epsilon);
+      const double up = weighted_sum(module.forward(input), w);
+      p->value[i] = saved - static_cast<float>(epsilon);
+      const double down = weighted_sum(module.forward(input), w);
+      p->value[i] = saved;
+      const double fd = (up - down) / (2.0 * epsilon);
+      const double analytic = p->grad[i];
+      EXPECT_NEAR(analytic, fd, tolerance * std::max(1.0, std::abs(fd)))
+          << "param " << p->name << " index " << i;
+    }
+  }
+
+  // Input gradients.
+  const std::size_t stride = std::max<std::size_t>(1, input.numel() / max_checked);
+  for (std::size_t i = 0; i < input.numel(); i += stride) {
+    const float saved = input[i];
+    input[i] = saved + static_cast<float>(epsilon);
+    const double up = weighted_sum(module.forward(input), w);
+    input[i] = saved - static_cast<float>(epsilon);
+    const double down = weighted_sum(module.forward(input), w);
+    input[i] = saved;
+    const double fd = (up - down) / (2.0 * epsilon);
+    EXPECT_NEAR(grad_in[i], fd, tolerance * std::max(1.0, std::abs(fd)))
+        << "input index " << i;
+  }
+}
+
+}  // namespace fedca::testing

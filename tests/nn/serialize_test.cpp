@@ -1,0 +1,95 @@
+// Checkpoint serialization round trips and corruption handling.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/models.hpp"
+#include "nn/serialize.hpp"
+
+namespace fedca {
+namespace {
+
+TEST(Serialize, RoundTripInMemory) {
+  util::Rng rng(1);
+  nn::Classifier model = nn::build_model(nn::ModelKind::kCnn, rng);
+  const nn::ModelState state = model.state();
+
+  std::stringstream buffer;
+  nn::save_state(state, buffer);
+  const nn::ModelState loaded = nn::load_state_stream(buffer);
+
+  ASSERT_TRUE(loaded.same_layout(state));
+  ASSERT_EQ(loaded.names, state.names);
+  for (std::size_t l = 0; l < state.tensors.size(); ++l) {
+    for (std::size_t i = 0; i < state.tensors[l].numel(); ++i) {
+      ASSERT_EQ(loaded.tensors[l][i], state.tensors[l][i]);
+    }
+  }
+}
+
+TEST(Serialize, RoundTripFileAndModelReload) {
+  util::Rng rng(2);
+  nn::Classifier model = nn::build_model(nn::ModelKind::kLstm, rng);
+  const nn::ModelState state = model.state();
+  const std::string path = ::testing::TempDir() + "/fedca_ckpt_test.bin";
+  nn::save_state_file(state, path);
+
+  util::Rng rng2(99);  // different init
+  nn::Classifier other = nn::build_model(nn::ModelKind::kLstm, rng2);
+  other.load(nn::load_state_file(path));
+  const nn::ModelState reloaded = other.state();
+  for (std::size_t l = 0; l < state.tensors.size(); ++l) {
+    for (std::size_t i = 0; i < state.tensors[l].numel(); ++i) {
+      ASSERT_EQ(reloaded.tensors[l][i], state.tensors[l][i]);
+    }
+  }
+}
+
+TEST(Serialize, BadMagicRejected) {
+  std::stringstream buffer;
+  buffer << "NOPE-this-is-not-a-checkpoint";
+  EXPECT_THROW(nn::load_state_stream(buffer), std::runtime_error);
+}
+
+TEST(Serialize, TruncationRejected) {
+  util::Rng rng(3);
+  nn::Classifier model = nn::build_model(nn::ModelKind::kCnn, rng);
+  std::stringstream buffer;
+  nn::save_state(model.state(), buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(nn::load_state_stream(truncated), std::runtime_error);
+}
+
+TEST(Serialize, AbsurdHeaderRejected) {
+  // Craft: valid magic, layer count 2^40.
+  std::stringstream buffer;
+  buffer.write("FCA1", 4);
+  const std::uint64_t absurd = 1ull << 40;
+  for (int i = 0; i < 8; ++i) {
+    const char byte = static_cast<char>((absurd >> (8 * i)) & 0xFF);
+    buffer.write(&byte, 1);
+  }
+  EXPECT_THROW(nn::load_state_stream(buffer), std::runtime_error);
+}
+
+TEST(Serialize, MissingFileRejected) {
+  EXPECT_THROW(nn::load_state_file("/nonexistent_fedca/ckpt.bin"), std::runtime_error);
+  util::Rng rng(4);
+  nn::Classifier model = nn::build_model(nn::ModelKind::kCnn, rng);
+  EXPECT_THROW(nn::save_state_file(model.state(), "/nonexistent_fedca/ckpt.bin"),
+               std::runtime_error);
+}
+
+TEST(Serialize, CrossModelLoadRejectedByClassifier) {
+  util::Rng rng(5);
+  nn::Classifier cnn = nn::build_model(nn::ModelKind::kCnn, rng);
+  nn::Classifier wrn = nn::build_model(nn::ModelKind::kWrn, rng);
+  std::stringstream buffer;
+  nn::save_state(cnn.state(), buffer);
+  const nn::ModelState loaded = nn::load_state_stream(buffer);
+  EXPECT_THROW(wrn.load(loaded), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedca

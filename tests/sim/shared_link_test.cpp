@@ -1,0 +1,115 @@
+// SharedLink: exact processor-sharing fluid schedule.
+#include <gtest/gtest.h>
+
+#include "sim/shared_link.hpp"
+
+namespace fedca {
+namespace {
+
+TEST(SharedLink, SingleFlowRunsAtPerFlowRate) {
+  sim::SharedLink link(100.0, 10.0);  // 10 Mbps flow cap
+  const auto out = link.schedule({{0.0, 1.25e6}});  // 10 Mbit
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].start, 0.0);
+  EXPECT_NEAR(out[0].end, 1.0, 1e-9);
+}
+
+TEST(SharedLink, TransparentWhenCapacitySuffices) {
+  // The paper's EC2 regime: 128 flows * 13.7 Mbps = 1.75 Gbps < 10 Gbps;
+  // each flow finishes exactly as if it were alone.
+  sim::SharedLink link(10'000.0, 13.7);
+  EXPECT_TRUE(link.is_transparent_for(128));
+  std::vector<sim::FlowRequest> requests;
+  for (int i = 0; i < 128; ++i) requests.push_back({0.0, 13.7e6 / 8.0});  // 1 s each
+  const auto out = link.schedule(requests);
+  for (const auto& t : out) {
+    EXPECT_NEAR(t.end - t.start, 1.0, 1e-6);
+  }
+}
+
+TEST(SharedLink, ContendedFlowsShareCapacity) {
+  // Two flows, 10 Mbps capacity, 10 Mbps per-flow cap: each gets 5 Mbps.
+  sim::SharedLink link(10.0, 10.0);
+  const auto out = link.schedule({{0.0, 1.25e6}, {0.0, 1.25e6}});  // 10 Mbit each
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NEAR(out[0].end, 2.0, 1e-9);
+  EXPECT_NEAR(out[1].end, 2.0, 1e-9);
+}
+
+TEST(SharedLink, EarlyFinisherSpeedsUpSurvivor) {
+  // Flow A: 5 Mbit, flow B: 15 Mbit, 10 Mbps capacity, uncapped flows.
+  // Phase 1 (both active, 5 Mbps each): A finishes at t = 1 having moved
+  // 5 Mbit; B has 10 Mbit left. Phase 2: B alone at 10 Mbps -> +1 s.
+  sim::SharedLink link(10.0, 10.0);
+  const auto out = link.schedule({{0.0, 5e6 / 8.0}, {0.0, 15e6 / 8.0}});
+  EXPECT_NEAR(out[0].end, 1.0, 1e-9);
+  EXPECT_NEAR(out[1].end, 2.0, 1e-9);
+}
+
+TEST(SharedLink, LateArrivalSlowsExistingFlow) {
+  // Flow A (20 Mbit) starts alone at 10 Mbps; at t = 1, flow B arrives.
+  // A has 10 Mbit left, now drains at 5 Mbps -> finishes at t = 3.
+  sim::SharedLink link(10.0, 10.0);
+  const auto out = link.schedule({{0.0, 20e6 / 8.0}, {1.0, 10e6 / 8.0}});
+  EXPECT_NEAR(out[0].end, 3.0, 1e-9);
+  // B: 10 Mbit at 5 Mbps while sharing with A (t=1..3) -> done exactly at 3.
+  EXPECT_NEAR(out[1].end, 3.0, 1e-9);
+}
+
+TEST(SharedLink, PerFlowCapBindsUnderLowContention) {
+  // Huge capacity, 10 Mbps per-flow cap: flows never exceed their cap.
+  sim::SharedLink link(1000.0, 10.0);
+  const auto out = link.schedule({{0.0, 10e6 / 8.0}, {0.0, 10e6 / 8.0}});
+  EXPECT_NEAR(out[0].end, 1.0, 1e-9);
+  EXPECT_NEAR(out[1].end, 1.0, 1e-9);
+}
+
+TEST(SharedLink, LatencyShiftsStart) {
+  sim::SharedLink link(10.0, 10.0, 0.25);
+  const auto out = link.schedule({{1.0, 10e6 / 8.0}});
+  EXPECT_DOUBLE_EQ(out[0].start, 1.25);
+  EXPECT_NEAR(out[0].end, 2.25, 1e-9);
+}
+
+TEST(SharedLink, ZeroByteTransferIsInstant) {
+  sim::SharedLink link(10.0, 10.0);
+  const auto out = link.schedule({{2.0, 0.0}});
+  EXPECT_DOUBLE_EQ(out[0].start, 2.0);
+  EXPECT_DOUBLE_EQ(out[0].end, 2.0);
+}
+
+TEST(SharedLink, UnsortedRequestsHandled) {
+  sim::SharedLink link(10.0, 10.0);
+  const auto out = link.schedule({{5.0, 10e6 / 8.0}, {0.0, 10e6 / 8.0}});
+  EXPECT_NEAR(out[1].end, 1.0, 1e-9);  // earlier request unaffected
+  EXPECT_NEAR(out[0].end, 6.0, 1e-9);
+}
+
+TEST(SharedLink, WorkConservation) {
+  // Total bits / capacity lower-bounds the makespan; equality when the
+  // link is saturated throughout.
+  sim::SharedLink link(10.0, 10.0);
+  std::vector<sim::FlowRequest> requests;
+  double total_bits = 0.0;
+  for (int i = 0; i < 7; ++i) {
+    requests.push_back({0.0, (1.0 + i) * 1e6 / 8.0});
+    total_bits += (1.0 + i) * 1e6;
+  }
+  const auto out = link.schedule(requests);
+  double makespan = 0.0;
+  for (const auto& t : out) makespan = std::max(makespan, t.end);
+  EXPECT_NEAR(makespan, total_bits / 10e6, 1e-6);
+}
+
+TEST(SharedLink, Validation) {
+  EXPECT_THROW(sim::SharedLink(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(sim::SharedLink(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(sim::SharedLink(1.0, 1.0, -0.1), std::invalid_argument);
+  sim::SharedLink link(1.0, 1.0);
+  EXPECT_THROW(link.schedule({{-1.0, 10.0}}), std::invalid_argument);
+  EXPECT_THROW(link.schedule({{0.0, -10.0}}), std::invalid_argument);
+  EXPECT_TRUE(link.schedule({}).empty());
+}
+
+}  // namespace
+}  // namespace fedca

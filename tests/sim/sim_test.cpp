@@ -1,0 +1,165 @@
+// Discrete-event queue, link model, and cluster assembly.
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+
+namespace fedca {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  sim::EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run_until_empty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps) {
+  sim::EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_until_empty();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  sim::EventQueue q;
+  std::vector<double> times;
+  q.schedule(1.0, [&] {
+    times.push_back(q.now());
+    q.schedule_in(0.5, [&] { times.push_back(q.now()); });
+  });
+  q.run_until_empty();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(EventQueue, PastSchedulingThrows) {
+  sim::EventQueue q;
+  q.schedule(2.0, [] {});
+  q.run_until_empty();
+  EXPECT_THROW(q.schedule(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_in(-0.5, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunUntilRespectsDeadline) {
+  sim::EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  q.schedule(5.0, [&] { ++fired; });
+  q.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until_empty();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunNextOnEmptyReturnsFalse) {
+  sim::EventQueue q;
+  EXPECT_FALSE(q.run_next());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Link, TransferSecondsMatchesBandwidth) {
+  sim::Link link(8.0, 0.0);  // 8 Mbps, no latency: 1 MB = 1 s
+  EXPECT_NEAR(link.transfer_seconds(1e6), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(link.transfer_seconds(0.0), 0.0);
+}
+
+TEST(Link, LatencyAddsFixedCost) {
+  sim::Link link(8.0, 0.25);
+  EXPECT_NEAR(link.transfer_seconds(1e6), 1.25, 1e-12);
+}
+
+TEST(Link, TransfersSerialize) {
+  sim::Link link(8.0, 0.0);
+  const sim::Transfer t1 = link.transmit(0.0, 1e6);   // [0, 1]
+  const sim::Transfer t2 = link.transmit(0.5, 1e6);   // ready at .5, starts at 1
+  EXPECT_DOUBLE_EQ(t1.end, 1.0);
+  EXPECT_DOUBLE_EQ(t2.start, 1.0);
+  EXPECT_DOUBLE_EQ(t2.end, 2.0);
+  // A transfer ready after the link is free starts immediately.
+  const sim::Transfer t3 = link.transmit(5.0, 1e6);
+  EXPECT_DOUBLE_EQ(t3.start, 5.0);
+  EXPECT_DOUBLE_EQ(t3.end, 6.0);
+}
+
+TEST(Link, PeekDoesNotCommit) {
+  sim::Link link(8.0, 0.0);
+  const double peek = link.peek_finish(0.0, 1e6);
+  EXPECT_DOUBLE_EQ(peek, 1.0);
+  EXPECT_DOUBLE_EQ(link.busy_until(), 0.0);
+  link.transmit(0.0, 1e6);
+  EXPECT_DOUBLE_EQ(link.busy_until(), 1.0);
+  EXPECT_DOUBLE_EQ(link.peek_finish(0.0, 1e6), 2.0);
+}
+
+TEST(Link, Validation) {
+  EXPECT_THROW(sim::Link(0.0), std::invalid_argument);
+  EXPECT_THROW(sim::Link(1.0, -0.1), std::invalid_argument);
+  sim::Link link(1.0);
+  EXPECT_THROW(link.transfer_seconds(-1.0), std::invalid_argument);
+  EXPECT_THROW(link.transmit(-1.0, 10.0), std::invalid_argument);
+}
+
+TEST(Cluster, BuildsRequestedClients) {
+  sim::ClusterOptions opts;
+  opts.num_clients = 17;
+  util::Rng rng(1);
+  sim::Cluster cluster(opts, rng);
+  EXPECT_EQ(cluster.size(), 17u);
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    EXPECT_EQ(cluster.client(i).id(), i);
+    EXPECT_GT(cluster.client(i).profile().base_speed, 0.0);
+  }
+}
+
+TEST(Cluster, ClientsAreHeterogeneous) {
+  sim::ClusterOptions opts;
+  opts.num_clients = 32;
+  util::Rng rng(2);
+  sim::Cluster cluster(opts, rng);
+  double lo = 1e9, hi = 0.0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    lo = std::min(lo, cluster.client(i).profile().base_speed);
+    hi = std::max(hi, cluster.client(i).profile().base_speed);
+  }
+  EXPECT_GT(hi / lo, 1.5);
+}
+
+TEST(Cluster, DeterministicInSeed) {
+  sim::ClusterOptions opts;
+  opts.num_clients = 8;
+  util::Rng r1(3);
+  util::Rng r2(3);
+  sim::Cluster a(opts, r1);
+  sim::Cluster b(opts, r2);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(a.client(i).profile().base_speed, b.client(i).profile().base_speed);
+    EXPECT_DOUBLE_EQ(a.client(i).compute_finish(0.0, 10.0),
+                     b.client(i).compute_finish(0.0, 10.0));
+  }
+}
+
+TEST(Cluster, ComputeFinishUsesTimeline) {
+  sim::ClusterOptions opts;
+  opts.num_clients = 1;
+  opts.dynamicity.enabled = false;
+  util::Rng rng(4);
+  sim::Cluster cluster(opts, rng);
+  auto& c = cluster.client(0);
+  const double speed = c.profile().base_speed;
+  EXPECT_NEAR(c.compute_finish(2.0, speed * 3.0), 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fedca

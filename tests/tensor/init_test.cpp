@@ -1,0 +1,68 @@
+// Initialization schemes: distribution parameters and determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/init.hpp"
+#include "util/stats.hpp"
+
+namespace fedca {
+namespace {
+
+using tensor::Tensor;
+
+TEST(Init, KaimingNormalStddev) {
+  util::Rng rng(1);
+  Tensor t({200, 50});
+  tensor::kaiming_normal(t, 50, rng);
+  util::RunningStats s;
+  for (std::size_t i = 0; i < t.numel(); ++i) s.add(t[i]);
+  EXPECT_NEAR(s.mean(), 0.0, 0.01);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.0 / 50.0), 0.01);
+}
+
+TEST(Init, XavierUniformBounds) {
+  util::Rng rng(2);
+  Tensor t({100, 60});
+  tensor::xavier_uniform(t, 60, 100, rng);
+  const double a = std::sqrt(6.0 / 160.0);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    ASSERT_GE(t[i], -a);
+    ASSERT_LE(t[i], a);
+  }
+  // Spread should actually use the range, not collapse.
+  util::RunningStats s;
+  for (std::size_t i = 0; i < t.numel(); ++i) s.add(t[i]);
+  EXPECT_NEAR(s.stddev(), a / std::sqrt(3.0), 0.01);
+}
+
+TEST(Init, FaninUniformBounds) {
+  util::Rng rng(3);
+  Tensor t({1000});
+  tensor::fanin_uniform(t, 25, rng);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    ASSERT_GE(t[i], -0.2f);
+    ASSERT_LE(t[i], 0.2f);
+  }
+}
+
+TEST(Init, DeterministicInSeed) {
+  Tensor a({64});
+  Tensor b({64});
+  util::Rng r1(9);
+  util::Rng r2(9);
+  tensor::kaiming_normal(a, 8, r1);
+  tensor::kaiming_normal(b, 8, r2);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Init, ZeroFanInThrows) {
+  util::Rng rng(4);
+  Tensor t({4});
+  EXPECT_THROW(tensor::kaiming_normal(t, 0, rng), std::invalid_argument);
+  EXPECT_THROW(tensor::fanin_uniform(t, 0, rng), std::invalid_argument);
+  EXPECT_THROW(tensor::xavier_uniform(t, 0, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedca

@@ -1,0 +1,155 @@
+// Device trace synthesis and the dynamic speed timeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+
+namespace fedca {
+namespace {
+
+TEST(Profiles, BoundsAndBandwidth) {
+  trace::HeterogeneityOptions opts;
+  util::Rng rng(1);
+  const auto profiles = trace::synthesize_profiles(200, opts, rng);
+  ASSERT_EQ(profiles.size(), 200u);
+  for (const auto& p : profiles) {
+    EXPECT_GE(p.base_speed, opts.min_speed);
+    EXPECT_LE(p.base_speed, opts.max_speed);
+    EXPECT_DOUBLE_EQ(p.bandwidth_mbps, 13.7);  // paper's FedScale average
+  }
+}
+
+TEST(Profiles, MedianNearOne) {
+  trace::HeterogeneityOptions opts;
+  util::Rng rng(2);
+  auto profiles = trace::synthesize_profiles(4001, opts, rng);
+  std::vector<double> speeds;
+  for (const auto& p : profiles) speeds.push_back(p.base_speed);
+  EXPECT_NEAR(util::percentile(speeds, 0.5), 1.0, 0.07);
+}
+
+TEST(Profiles, HeterogeneitySpreadIsWide) {
+  trace::HeterogeneityOptions opts;
+  util::Rng rng(3);
+  auto profiles = trace::synthesize_profiles(2000, opts, rng);
+  std::vector<double> speeds;
+  for (const auto& p : profiles) speeds.push_back(p.base_speed);
+  // FedScale-like dispersion: p90/p10 well above 3x.
+  EXPECT_GT(util::percentile(speeds, 0.9) / util::percentile(speeds, 0.1), 3.0);
+}
+
+TEST(Profiles, Validation) {
+  trace::HeterogeneityOptions opts;
+  opts.min_speed = 0.0;
+  util::Rng rng(4);
+  EXPECT_THROW(trace::synthesize_profiles(2, opts, rng), std::invalid_argument);
+}
+
+TEST(SpeedTimeline, DisabledDynamicityIsConstant) {
+  trace::DynamicityOptions dyn;
+  dyn.enabled = false;
+  trace::SpeedTimeline tl(2.0, dyn, util::Rng(5));
+  EXPECT_DOUBLE_EQ(tl.speed_at(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(tl.speed_at(1e6), 2.0);
+  EXPECT_DOUBLE_EQ(tl.finish_time(10.0, 4.0), 12.0);
+  EXPECT_DOUBLE_EQ(tl.average_speed(0.0, 100.0), 2.0);
+}
+
+TEST(SpeedTimeline, SpeedAlwaysWithinSlowdownRange) {
+  trace::DynamicityOptions dyn;  // paper defaults: U(1,5) slowdown
+  trace::SpeedTimeline tl(1.5, dyn, util::Rng(6));
+  for (double t = 0.0; t < 2000.0; t += 3.7) {
+    const double s = tl.speed_at(t);
+    EXPECT_LE(s, 1.5 + 1e-12);
+    EXPECT_GE(s, 1.5 / 5.0 - 1e-12);
+  }
+}
+
+TEST(SpeedTimeline, FinishTimeIsMonotoneInWork) {
+  trace::DynamicityOptions dyn;
+  trace::SpeedTimeline tl(1.0, dyn, util::Rng(7));
+  double prev = 0.0;
+  for (double work = 0.0; work <= 50.0; work += 2.5) {
+    const double f = tl.finish_time(0.0, work);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(SpeedTimeline, FinishTimeConsistentWithIntegration) {
+  trace::DynamicityOptions dyn;
+  trace::SpeedTimeline tl(1.0, dyn, util::Rng(8));
+  const double start = 12.0;
+  const double work = 37.0;
+  const double finish = tl.finish_time(start, work);
+  ASSERT_GT(finish, start);
+  // average_speed * elapsed == work (exact up to fp).
+  const double avg = tl.average_speed(start, finish);
+  EXPECT_NEAR(avg * (finish - start), work, 1e-6 * work);
+}
+
+TEST(SpeedTimeline, ZeroWorkReturnsStart) {
+  trace::DynamicityOptions dyn;
+  trace::SpeedTimeline tl(1.0, dyn, util::Rng(9));
+  EXPECT_DOUBLE_EQ(tl.finish_time(5.0, 0.0), 5.0);
+}
+
+TEST(SpeedTimeline, SequentialWorkComposes) {
+  trace::DynamicityOptions dyn;
+  trace::SpeedTimeline tl(1.0, dyn, util::Rng(10));
+  // Doing work in two chunks lands at the same time as doing it at once.
+  const double mid = tl.finish_time(0.0, 10.0);
+  const double end_split = tl.finish_time(mid, 10.0);
+  const double end_once = tl.finish_time(0.0, 20.0);
+  EXPECT_NEAR(end_split, end_once, 1e-9);
+}
+
+TEST(SpeedTimeline, SlowModeActuallySlowsDown) {
+  // With aggressive slow periods the average effective speed over a long
+  // horizon must sit strictly between base/5 and base.
+  trace::DynamicityOptions dyn;
+  trace::SpeedTimeline tl(1.0, dyn, util::Rng(11));
+  const double avg = tl.average_speed(0.0, 5000.0);
+  EXPECT_LT(avg, 1.0);
+  EXPECT_GT(avg, 0.2);
+}
+
+TEST(SpeedTimeline, DeterministicInRng) {
+  trace::DynamicityOptions dyn;
+  trace::SpeedTimeline a(1.0, dyn, util::Rng(12));
+  trace::SpeedTimeline b(1.0, dyn, util::Rng(12));
+  for (double t = 0.0; t < 500.0; t += 11.0) {
+    ASSERT_DOUBLE_EQ(a.speed_at(t), b.speed_at(t));
+  }
+}
+
+TEST(SpeedTimeline, Validation) {
+  trace::DynamicityOptions dyn;
+  EXPECT_THROW(trace::SpeedTimeline(0.0, dyn, util::Rng(13)), std::invalid_argument);
+  trace::SpeedTimeline tl(1.0, dyn, util::Rng(14));
+  EXPECT_THROW(tl.speed_at(-1.0), std::invalid_argument);
+  EXPECT_THROW(tl.finish_time(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(tl.finish_time(0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(tl.average_speed(5.0, 5.0), std::invalid_argument);
+}
+
+// Duration distribution sanity: fast segments should dominate wall time
+// (Gamma(2,40) mean 80 s vs Gamma(2,6) mean 12 s), so the long-run mean
+// speed should be much closer to base than to base/3 (mean slowdown 3).
+TEST(SpeedTimeline, FastModeDominatesTimeShare) {
+  trace::DynamicityOptions dyn;
+  util::RunningStats avg_speeds;
+  for (int i = 0; i < 20; ++i) {
+    trace::SpeedTimeline tl(1.0, dyn, util::Rng(100 + i));
+    avg_speeds.add(tl.average_speed(0.0, 20000.0));
+  }
+  // Expected time-weighted speed ~ (80*1 + 12*(1/3)) / 92 ~ 0.91 with
+  // slowdown drawn U(1,5) (E[1/slowdown] ~ 0.32).
+  EXPECT_GT(avg_speeds.mean(), 0.8);
+  EXPECT_LT(avg_speeds.mean(), 0.98);
+}
+
+}  // namespace
+}  // namespace fedca

@@ -1,0 +1,37 @@
+// Log-level parsing and threshold behaviour.
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+
+namespace fedca {
+namespace {
+
+TEST(Logging, ParseKnownLevels) {
+  using util::LogLevel;
+  EXPECT_EQ(util::parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(util::parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(util::parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(util::parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(util::parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(util::parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(util::parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(util::parse_log_level("bogus"), LogLevel::kWarn);
+}
+
+TEST(Logging, LevelNames) {
+  using util::LogLevel;
+  EXPECT_EQ(util::log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(util::log_level_name(LogLevel::kError), "ERROR");
+}
+
+TEST(Logging, SetAndGetLevel) {
+  const util::LogLevel saved = util::log_level();
+  util::set_log_level(util::LogLevel::kError);
+  EXPECT_EQ(util::log_level(), util::LogLevel::kError);
+  // Below-threshold logging must be a no-op (smoke: just call it).
+  FEDCA_LOG_DEBUG("test") << "suppressed " << 42;
+  util::set_log_level(saved);
+}
+
+}  // namespace
+}  // namespace fedca

@@ -1,0 +1,200 @@
+// Determinism and distribution sanity of the Rng stack.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace fedca {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  util::Rng a(123);
+  util::Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  util::Rng a(1);
+  util::Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ZeroSeedIsNotDegenerate) {
+  util::Rng rng(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 100; ++i) values.insert(rng());
+  EXPECT_GT(values.size(), 95u);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  util::Rng parent(7);
+  util::Rng c1 = parent.fork(1);
+  util::Rng c1_again = parent.fork(1);
+  util::Rng c2 = parent.fork(2);
+  EXPECT_EQ(c1(), c1_again());
+  // Forking must not advance the parent.
+  util::Rng parent2(7);
+  EXPECT_EQ(parent(), parent2());
+  // Distinct streams.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1() == c2()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  util::Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  util::Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.5);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.5);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  util::Rng rng(13);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(7)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 7, 500);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  util::Rng rng(14);
+  util::RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalShiftScale) {
+  util::Rng rng(15);
+  util::RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal(3.0, 0.5));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 0.5, 0.02);
+}
+
+TEST(Rng, LognormalMedian) {
+  util::Rng rng(16);
+  std::vector<double> samples;
+  for (int i = 0; i < 20001; ++i) samples.push_back(rng.lognormal(0.0, 0.6));
+  std::nth_element(samples.begin(), samples.begin() + 10000, samples.end());
+  EXPECT_NEAR(samples[10000], 1.0, 0.05);  // median of LN(0, s) is e^0 = 1
+}
+
+// Gamma moments: mean = shape*scale, variance = shape*scale^2. These are
+// the exact distributions the paper uses for fast/slow durations.
+class GammaMomentsTest : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(GammaMomentsTest, MeanAndVarianceMatch) {
+  const auto [shape, scale] = GetParam();
+  util::Rng rng(17);
+  util::RunningStats stats;
+  for (int i = 0; i < 60000; ++i) stats.add(rng.gamma(shape, scale));
+  EXPECT_NEAR(stats.mean(), shape * scale, 0.03 * shape * scale);
+  EXPECT_NEAR(stats.variance(), shape * scale * scale, 0.08 * shape * scale * scale);
+  EXPECT_GE(stats.min(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperAndEdgeShapes, GammaMomentsTest,
+                         ::testing::Values(std::pair{2.0, 40.0},   // fast mode
+                                           std::pair{2.0, 6.0},    // slow mode
+                                           std::pair{1.0, 1.0},
+                                           std::pair{0.5, 2.0},    // shape < 1 path
+                                           std::pair{5.0, 0.3}));
+
+class DirichletTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DirichletTest, SumsToOneAndNonNegative) {
+  const double alpha = GetParam();
+  util::Rng rng(18);
+  for (int rep = 0; rep < 200; ++rep) {
+    const std::vector<double> p = rng.dirichlet(alpha, 10);
+    ASSERT_EQ(p.size(), 10u);
+    double total = 0.0;
+    for (const double v : p) {
+      ASSERT_GE(v, 0.0);
+      total += v;
+    }
+    ASSERT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_P(DirichletTest, SmallAlphaConcentrates) {
+  const double alpha = GetParam();
+  util::Rng rng(19);
+  // Average max component grows as alpha shrinks.
+  double mean_max = 0.0;
+  const int reps = 300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const std::vector<double> p = rng.dirichlet(alpha, 10);
+    mean_max += *std::max_element(p.begin(), p.end());
+  }
+  mean_max /= reps;
+  if (alpha <= 0.1) {
+    EXPECT_GT(mean_max, 0.55);  // strongly skewed (the paper's setting)
+  }
+  if (alpha >= 10.0) {
+    EXPECT_LT(mean_max, 0.3);  // near-uniform
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, DirichletTest,
+                         ::testing::Values(0.05, 0.1, 1.0, 10.0));
+
+TEST(Rng, SampleWithoutReplacementProperties) {
+  util::Rng rng(20);
+  for (int rep = 0; rep < 100; ++rep) {
+    const std::size_t n = 50;
+    const std::size_t k = 1 + rng.uniform_index(50);
+    const auto sample = rng.sample_without_replacement(n, k);
+    ASSERT_EQ(sample.size(), k);
+    ASSERT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+    for (std::size_t i = 1; i < sample.size(); ++i) {
+      ASSERT_NE(sample[i - 1], sample[i]);  // distinct
+    }
+    for (const auto idx : sample) ASSERT_LT(idx, n);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  util::Rng rng(21);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  util::Rng rng(22);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace fedca

@@ -1,0 +1,78 @@
+// Table rendering and CSV escaping.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace fedca {
+namespace {
+
+TEST(Table, AlignedPrinting) {
+  util::Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"a-much-longer-name", "22"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("a-much-longer-name"), std::string::npos);
+  // Header separator line exists.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  util::Table t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  ASSERT_EQ(t.rows().size(), 1u);
+  EXPECT_EQ(t.rows()[0].size(), 3u);
+  EXPECT_EQ(t.rows()[0][1], "");
+}
+
+TEST(Table, CsvEscaping) {
+  util::Table t({"x", "y"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"with\"quote", "with\nnewline"});
+  std::ostringstream out;
+  t.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\nnewline\""), std::string::npos);
+}
+
+TEST(Table, FmtFixedDigits) {
+  EXPECT_EQ(util::Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(util::Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(util::Table::fmt(-0.5, 3), "-0.500");
+}
+
+TEST(Table, SaveCsvRoundTrip) {
+  util::Table t({"k", "v"});
+  t.add_row({"a", "1"});
+  const std::string path = ::testing::TempDir() + "/fedca_table_test.csv";
+  t.save_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,1");
+}
+
+TEST(Table, SaveCsvBadPathThrows) {
+  util::Table t({"k"});
+  EXPECT_THROW(t.save_csv("/nonexistent_dir_fedca/x.csv"), std::runtime_error);
+}
+
+TEST(PrintSection, IncludesTitleAndConfig) {
+  std::ostringstream out;
+  util::print_section(out, "Table 1", "k=125");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("== Table 1 =="), std::string::npos);
+  EXPECT_NE(text.find("config: k=125"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedca

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Plot the CSVs exported by the bench harness (csv_dir=...).
+
+Regenerates paper-style figures from the reproduction's data:
+
+    ./build/bench/table1_fig7_end_to_end csv_dir=results
+    ./build/bench/fig8_behavior_cdf     csv_dir=results
+    python3 tools/plot_results.py results out_figs/
+
+Requires matplotlib. Every plot is best-effort: missing CSVs are skipped,
+so the script works after running any subset of the benches.
+"""
+import csv
+import os
+import sys
+from collections import defaultdict
+
+
+def read_csv(path):
+    if not os.path.exists(path):
+        return None
+    with open(path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    return rows
+
+
+def group(rows, key):
+    out = defaultdict(list)
+    for row in rows:
+        out[row[key]].append(row)
+    return out
+
+
+def plot_fig7(results_dir, out_dir, plt):
+    rows = read_csv(os.path.join(results_dir, "fig7_curves.csv"))
+    if rows is None:
+        return
+    by_model = group(rows, "model")
+    for model, model_rows in by_model.items():
+        plt.figure(figsize=(5, 3.2))
+        for scheme, series in sorted(group(model_rows, "scheme").items()):
+            xs = [float(r["virtual time (s)"]) for r in series]
+            ys = [float(r["accuracy"]) for r in series]
+            plt.plot(xs, ys, label=scheme)
+        plt.xlabel("virtual time (s)")
+        plt.ylabel("accuracy")
+        plt.title(f"Fig. 7 ({model}): time-to-accuracy")
+        plt.legend()
+        plt.tight_layout()
+        plt.savefig(os.path.join(out_dir, f"fig7_{model}.png"), dpi=150)
+        plt.close()
+
+
+def plot_fig8(results_dir, out_dir, plt):
+    for panel, title in (("fig8a", "early-stop iteration"),
+                         ("fig8b", "eager-transmission iteration")):
+        rows = read_csv(os.path.join(results_dir, f"{panel}.csv"))
+        if rows is None:
+            continue
+        plt.figure(figsize=(4.2, 3.2))
+        for series, points in sorted(group(rows, "series").items()):
+            xs = [float(r["iteration"]) for r in points]
+            ys = [float(r["CDF"]) for r in points]
+            plt.plot(xs, ys, label=series)
+        plt.xlabel("iteration")
+        plt.ylabel("CDF")
+        plt.title(f"Fig. {panel[-2:]}: {title} (CNN)")
+        plt.legend()
+        plt.tight_layout()
+        plt.savefig(os.path.join(out_dir, f"{panel}.png"), dpi=150)
+        plt.close()
+
+
+def plot_curve_file(results_dir, out_dir, plt, name, label_key, title):
+    rows = read_csv(os.path.join(results_dir, f"{name}.csv"))
+    if rows is None:
+        return
+    plt.figure(figsize=(5, 3.2))
+    for label, series in sorted(group(rows, label_key).items()):
+        xs = [float(r["virtual time (s)"]) for r in series]
+        ys = [float(r["accuracy"]) for r in series]
+        plt.plot(xs, ys, label=label)
+    plt.xlabel("virtual time (s)")
+    plt.ylabel("accuracy")
+    plt.title(title)
+    plt.legend(fontsize=7)
+    plt.tight_layout()
+    plt.savefig(os.path.join(out_dir, f"{name}.png"), dpi=150)
+    plt.close()
+
+
+def plot_motivation(results_dir, out_dir, plt):
+    for model in ("CNN", "LSTM", "WRN"):
+        rows = read_csv(os.path.join(results_dir, f"fig2_{model}.csv"))
+        if rows is None:
+            continue
+        plt.figure(figsize=(5, 3.2))
+        for (stage, client), series in sorted(
+                group_multi(rows, ("stage", "client")).items()):
+            xs = [int(r["iteration"]) for r in series]
+            ys = [float(r["progress"]) for r in series]
+            plt.plot(xs, ys, label=f"client {client} {stage}")
+        plt.xlabel("iteration")
+        plt.ylabel("statistical progress P")
+        plt.title(f"Fig. 2 ({model})")
+        plt.legend(fontsize=7)
+        plt.tight_layout()
+        plt.savefig(os.path.join(out_dir, f"fig2_{model}.png"), dpi=150)
+        plt.close()
+
+
+def group_multi(rows, keys):
+    out = defaultdict(list)
+    for row in rows:
+        out[tuple(row[k] for k in keys)].append(row)
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        sys.exit(1)
+    results_dir, out_dir = sys.argv[1], sys.argv[2]
+    os.makedirs(out_dir, exist_ok=True)
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib is required: pip install matplotlib")
+        sys.exit(1)
+
+    plot_fig7(results_dir, out_dir, plt)
+    plot_fig8(results_dir, out_dir, plt)
+    # fig9 mixes two models in one CSV; split before plotting.
+    fig9 = read_csv(os.path.join(results_dir, "fig9_curves.csv"))
+    if fig9 is not None:
+        for model, rows in group(fig9, "model").items():
+            tmp = os.path.join(results_dir, f"fig9_curves_{model}.csv")
+            with open(tmp, "w", newline="") as fh:
+                writer = csv.DictWriter(fh, fieldnames=fig9[0].keys())
+                writer.writeheader()
+                writer.writerows(rows)
+            plot_curve_file(results_dir, out_dir, plt, f"fig9_curves_{model}",
+                            "scheme", f"Fig. 9 ({model}): ablation")
+    plot_curve_file(results_dir, out_dir, plt, "fig10a_curves", "arm",
+                    "Fig. 10a: beta sensitivity")
+    plot_curve_file(results_dir, out_dir, plt, "fig10b_curves", "arm",
+                    "Fig. 10b: threshold sensitivity")
+    plot_motivation(results_dir, out_dir, plt)
+    print(f"figures written to {out_dir}")
+
+
+if __name__ == "__main__":
+    main()

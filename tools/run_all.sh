@@ -1,0 +1,11 @@
+#!/bin/sh
+# Final validation pass: full test suite + every bench binary.
+set -u
+cd "$(dirname "$0")/.."
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
+mkdir -p /root/repo/results
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "===== $b ====="
+  "$b" csv_dir=/root/repo/results
+done 2>&1 | tee /root/repo/bench_output.txt
