@@ -12,6 +12,7 @@
 #include "bench/common.hpp"
 #include "data/partition.hpp"
 #include "fl/async_engine.hpp"
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 
 using namespace fedca;
@@ -93,5 +94,8 @@ int main(int argc, char** argv) {
                "the synchronous arms at an equal update budget (Sec. 6's caveat).\n";
   bench::maybe_save_csv(table, config, "ext_async");
   bench::maybe_save_csv(curves, config, "ext_async_curves");
+  // The async arm drives AsyncEngine directly (no run_experiment), so its
+  // spans are only on record here — rewrite the outputs to include them.
+  obs::flush_outputs(options.metrics_path);
   return 0;
 }

@@ -63,6 +63,13 @@ class SamplingProfiler {
   // --- overhead accounting (Sec. 5.5) ---
   // Total sampled scalars across layers (fixed after the first anchor).
   std::size_t sampled_param_count() const;
+  // Sampled scalars per layer (empty before the first anchor round).
+  std::vector<std::size_t> sampled_per_layer() const {
+    std::vector<std::size_t> out;
+    out.reserve(indices_.size());
+    for (const auto& layer : indices_) out.push_back(layer.size());
+    return out;
+  }
   // Peak profiling memory for a round of `iterations` local iterations.
   std::size_t profiling_bytes(std::size_t iterations) const;
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "nn/sgd.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fedca::fl {
 
@@ -48,6 +50,24 @@ void AsyncEngine::launch(std::size_t c, double t) {
   const double compute_done = device.compute_finish(download.end, compute_work);
   const sim::Transfer upload = device.uplink().transmit(compute_done, model_bytes);
 
+  obs::TraceCollector& tracer = obs::TraceCollector::global();
+  if (tracer.enabled()) {
+    if (trace_pid_base_ == 0) {
+      const auto n = static_cast<std::uint32_t>(cluster_->size());
+      trace_pid_base_ = tracer.allocate_process_ids(n + 1);
+      tracer.set_process_name(trace_pid_base_, "async/server");
+      for (std::uint32_t i = 0; i < n; ++i) {
+        tracer.set_process_name(trace_pid_base_ + 1 + i,
+                                "async/client " + std::to_string(i));
+      }
+    }
+    const std::uint32_t pid = trace_pid_base_ + 1 + static_cast<std::uint32_t>(c);
+    const obs::TraceArgs version{{"version", std::to_string(version_)}};
+    tracer.record_span(pid, "download", t, download.end, version);
+    tracer.record_span(pid, "compute", download.end, compute_done, version);
+    tracer.record_span(pid, "upload", upload.start, upload.end, version);
+  }
+
   InFlight flight;
   flight.arrival_time = upload.end;
   flight.downloaded_version = version_;
@@ -88,9 +108,22 @@ AsyncUpdateRecord AsyncEngine::step() {
   record.weight =
       options_.mix /
       std::pow(1.0 + static_cast<double>(record.staleness), options_.staleness_power);
-  nn::state_add_scaled(global_, static_cast<float>(record.weight), update);
+  {
+    FEDCA_WALL_SPAN("server.apply_async_update");
+    nn::state_add_scaled(global_, static_cast<float>(record.weight), update);
+  }
   ++version_;
   record.applied_version = version_;
+  FEDCA_MCOUNT("async.updates", 1.0);
+  FEDCA_MHISTO("async.staleness", 0.0, 64.0, 64,
+               static_cast<double>(record.staleness));
+  if (obs::TraceCollector::global().enabled() && trace_pid_base_ != 0) {
+    obs::TraceCollector::global().record_instant(
+        trace_pid_base_, "apply_update", clock_,
+        {{"client", std::to_string(record.client_id)},
+         {"staleness", std::to_string(record.staleness)},
+         {"version", std::to_string(record.applied_version)}});
+  }
 
   launch(winner, clock_);
   return record;

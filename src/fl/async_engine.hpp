@@ -21,6 +21,7 @@
 // the run is deterministic.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -91,6 +92,9 @@ class AsyncEngine {
   nn::ModelState global_;
   std::size_t version_ = 0;
   double clock_ = 0.0;
+  // Trace pids (server + one per client), reserved lazily on the first
+  // launch that finds the trace collector armed. 0 = not yet reserved.
+  std::uint32_t trace_pid_base_ = 0;
 };
 
 }  // namespace fedca::fl

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace fedca::fl {
@@ -117,6 +119,9 @@ RoundSummary summarize(const RoundRecord& record) {
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentOptions& options, Scheme& scheme) {
+  // Arm tracing/metrics before any round runs so the first round's spans
+  // are captured; flush_paths remembers where to write at the end.
+  const auto flush_paths = obs::configure(options.trace_path, options.metrics_path);
   ExperimentSetup setup = make_setup(options, scheme);
   ExperimentResult result;
   result.scheme_name = scheme.name();
@@ -164,6 +169,10 @@ ExperimentResult run_experiment(const ExperimentOptions& options, Scheme& scheme
     for (const RoundSummary& r : result.rounds) sum += r.duration();
     result.mean_round_seconds = sum / static_cast<double>(result.rounds.size());
   }
+  FEDCA_MGAUGE("experiment.final_accuracy", result.final_accuracy);
+  FEDCA_MGAUGE("experiment.total_virtual_seconds", result.total_time);
+  FEDCA_MGAUGE("experiment.rounds", static_cast<double>(result.rounds.size()));
+  obs::flush_outputs(flush_paths.second);
   return result;
 }
 

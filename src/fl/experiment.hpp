@@ -45,6 +45,12 @@ struct ExperimentOptions {
   std::size_t eval_every = 1;          // rounds between evaluations
   sim::ClusterOptions cluster;
   std::uint64_t seed = 42;
+  // Observability. Non-empty paths arm the corresponding output; the
+  // FEDCA_TRACE / FEDCA_METRICS environment variables fill either when it
+  // is left empty here (explicit options win). Tracing and metrics have
+  // near-zero cost when disarmed.
+  std::string trace_path;
+  std::string metrics_path;
 };
 
 // Per-client behavioural summary of one round — everything the figures

@@ -2,13 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "util/logging.hpp"
 
 namespace fedca::fl {
+
+namespace {
+
+std::string fmt_num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return std::string(buf);
+}
+
+}  // namespace
 
 RoundEngine::RoundEngine(nn::Classifier* model, sim::Cluster* cluster,
                          std::vector<data::Dataset> shards, Scheme* scheme,
@@ -43,7 +56,21 @@ RoundEngine::RoundEngine(nn::Classifier* model, sim::Cluster* cluster,
 
 void RoundEngine::load_global_into_model() { model_->load(global_); }
 
+void RoundEngine::register_trace_processes() {
+  obs::TraceCollector& tracer = obs::TraceCollector::global();
+  if (trace_registered_ || !tracer.enabled()) return;
+  const auto n = static_cast<std::uint32_t>(cluster_->size());
+  trace_pid_base_ = tracer.allocate_process_ids(n + 1);
+  tracer.set_process_name(server_pid(), scheme_->name() + "/server");
+  for (std::uint32_t c = 0; c < n; ++c) {
+    tracer.set_process_name(trace_pid_base_ + 1 + c,
+                            scheme_->name() + "/client " + std::to_string(c));
+  }
+  trace_registered_ = true;
+}
+
 RoundRecord RoundEngine::run_round() {
+  register_trace_processes();
   RoundRecord record;
   record.round_index = round_index_;
   record.start_time = clock_;
@@ -77,15 +104,36 @@ RoundRecord RoundEngine::run_round() {
     record.clients.push_back(run_client(c, info));
   }
 
-  record.collected = select_earliest(record.clients, options_.collect_fraction);
-  apply_aggregated_update(global_, record.clients, record.collected);
-  double end_time = clock_;
-  for (const std::size_t idx : record.collected) {
-    end_time = std::max(end_time, record.clients[idx].arrival_time);
+  double quorum_time = clock_;
+  {
+    // The server's real aggregation work happens here; the virtual clock
+    // charges it nothing (the paper's server is never the bottleneck), so
+    // it shows up as a wall-clock span plus a virtual instant.
+    FEDCA_WALL_SPAN("server.aggregate");
+    record.collected = select_earliest(record.clients, options_.collect_fraction);
+    apply_aggregated_update(global_, record.clients, record.collected);
+    for (const std::size_t idx : record.collected) {
+      quorum_time = std::max(quorum_time, record.clients[idx].arrival_time);
+    }
   }
+  const double end_time = quorum_time;
   record.end_time = end_time;
   clock_ = end_time;
   ++round_index_;
+
+  obs::TraceCollector& tracer = obs::TraceCollector::global();
+  if (tracer.enabled()) {
+    tracer.record_span(server_pid(), "round", record.start_time, record.end_time,
+                       {{"round", std::to_string(record.round_index)},
+                        {"deadline", fmt_num(record.deadline)},
+                        {"collected", std::to_string(record.collected.size())},
+                        {"participants", std::to_string(record.clients.size())}});
+    tracer.record_span(server_pid(), "aggregate", record.end_time, record.end_time,
+                       {{"round", std::to_string(record.round_index)},
+                        {"updates", std::to_string(record.collected.size())}});
+  }
+  FEDCA_MCOUNT("engine.rounds", 1.0);
+  FEDCA_MHISTO("engine.round_seconds", 0.0, 600.0, 60, record.duration());
 
   scheme_->observe_round(record);
   FEDCA_LOG_DEBUG("round_engine") << "round " << record.round_index << " done in "
@@ -109,11 +157,20 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
   const std::unique_ptr<UpdateCompressor> compressor =
       scheme_->make_compressor(client_id, info.round_index);
 
+  obs::TraceCollector& tracer = obs::TraceCollector::global();
+  const bool tracing = tracer.enabled();
+  const std::uint32_t pid = client_pid(client_id);
+
   // 1. Download the global model.
   const double model_bytes =
       static_cast<double>(global_.numel()) * bytes_per_param + options_.upload_header_bytes;
   const sim::Transfer download = device.downlink().transmit(info.start_time, model_bytes);
   result.download_done = download.end;
+  if (tracing) {
+    tracer.record_span(pid, "download", info.start_time, download.end,
+                       {{"bytes", fmt_num(model_bytes)},
+                        {"round", std::to_string(info.round_index)}});
+  }
 
   // 2. Local training.
   model_->load(global_);
@@ -135,11 +192,20 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
   const std::vector<nn::Parameter*> params = model_->parameters();
 
   for (std::size_t tau = 1; tau <= info.planned_iterations; ++tau) {
-    const data::Batch batch = loaders_[client_id].next();
-    loss_sum += model_->compute_gradients(batch.inputs, batch.labels);
-    optimizer.step();
+    const double iter_start = t;
+    {
+      FEDCA_KERNEL_SPAN("sgd.step");
+      const data::Batch batch = loaders_[client_id].next();
+      loss_sum += model_->compute_gradients(batch.inputs, batch.labels);
+      optimizer.step();
+    }
     t = device.compute_finish(t, iteration_work);
     iterations = tau;
+    if (tracing) {
+      tracer.record_span(pid, "iter", iter_start, t,
+                         {{"tau", std::to_string(tau)},
+                          {"round", std::to_string(info.round_index)}});
+    }
 
     IterationView view;
     view.iteration = tau;
@@ -166,6 +232,7 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
       eager.send_time = transfer.start;
       eager.arrival_time = transfer.end;
       result.bytes_sent += layer_bytes;
+      FEDCA_MCOUNT("engine.eager_transmissions", 1.0);
       result.eager.push_back(std::move(eager));
     }
 
@@ -178,6 +245,15 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
 
     if (decision.stop && tau < info.planned_iterations) {
       stopped_early = true;
+      if (tracing) {
+        obs::TraceArgs args{{"tau", std::to_string(tau)},
+                            {"round", std::to_string(info.round_index)}};
+        for (const auto& [key, value] : decision.trace_annotations) {
+          args.emplace_back(key, fmt_num(value));
+        }
+        tracer.record_instant(pid, "early_stop", t, std::move(args));
+      }
+      FEDCA_MCOUNT("engine.early_stops", 1.0);
       break;
     }
   }
@@ -185,6 +261,13 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
   result.early_stopped = stopped_early;
   result.compute_done = t;
   result.compute_seconds = t - train_start;
+  if (tracing) {
+    tracer.record_span(pid, "compute", train_start, t,
+                       {{"iterations", std::to_string(iterations)},
+                        {"planned", std::to_string(info.planned_iterations)},
+                        {"early_stopped", stopped_early ? "1" : "0"},
+                        {"round", std::to_string(info.round_index)}});
+  }
   result.mean_local_loss = iterations > 0 ? loss_sum / static_cast<double>(iterations) : 0.0;
 
   // 3. Final update, retransmission selection, and upload.
@@ -217,6 +300,31 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
   const sim::Transfer upload = device.uplink().transmit(t, final_bytes);
   result.bytes_sent += final_bytes;
   result.arrival_time = upload.end;
+  if (tracing) {
+    // Eager uploads are recorded here (not at trigger time) so the span
+    // carries the Eq. 6 retransmission verdict.
+    for (const EagerRecord& eager : result.eager) {
+      tracer.record_span(pid, "upload.eager", eager.send_time, eager.arrival_time,
+                         {{"layer", std::to_string(eager.layer)},
+                          {"iteration", std::to_string(eager.iteration)},
+                          {"retransmitted", eager.retransmitted ? "1" : "0"},
+                          {"round", std::to_string(info.round_index)}});
+    }
+    tracer.record_span(pid, "upload.final", upload.start, upload.end,
+                       {{"bytes", fmt_num(final_bytes)},
+                        {"retransmitted_layers",
+                         std::to_string(result.retransmitted_layers)},
+                        {"round", std::to_string(info.round_index)}});
+  }
+  FEDCA_MCOUNT("engine.client_rounds", 1.0);
+  FEDCA_MCOUNT("engine.bytes_sent", result.bytes_sent);
+  FEDCA_MCOUNT("engine.retransmissions",
+               static_cast<double>(result.retransmitted_layers));
+  FEDCA_MHISTO("engine.client_arrival_seconds", 0.0, 600.0, 60,
+               result.arrival_time - info.start_time);
+  FEDCA_MHISTO("engine.client_iterations", 0.0,
+               static_cast<double>(std::max<std::size_t>(1, info.nominal_iterations)),
+               32, static_cast<double>(result.iterations_run));
 
   // 4. The update the server applies: eager values stand unless the layer
   // was retransmitted (in which case the exact final value arrives).

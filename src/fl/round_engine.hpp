@@ -24,6 +24,7 @@
 // depends on host wall-clock.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -74,6 +75,13 @@ class RoundEngine {
 
  private:
   ClientRoundResult run_client(std::size_t client_id, const RoundInfo& info);
+  // Lazily reserves trace pids (server + one per client) and names the
+  // processes; no-op while the trace collector is disarmed.
+  void register_trace_processes();
+  std::uint32_t server_pid() const { return trace_pid_base_; }
+  std::uint32_t client_pid(std::size_t client_id) const {
+    return trace_pid_base_ + 1 + static_cast<std::uint32_t>(client_id);
+  }
 
   nn::Classifier* model_;
   sim::Cluster* cluster_;
@@ -85,6 +93,8 @@ class RoundEngine {
   util::Rng selection_rng_;
   double clock_ = 0.0;
   std::size_t round_index_ = 0;
+  std::uint32_t trace_pid_base_ = 0;
+  bool trace_registered_ = false;
 };
 
 }  // namespace fedca::fl

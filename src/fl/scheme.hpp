@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fl/compression.hpp"
@@ -58,6 +59,11 @@ struct IterationDecision {
   // autonomy sketched as future work in the paper's Sec. 6; the engine
   // applies it to the local optimizer immediately.
   double lr_scale = 1.0;
+  // Observability annotations explaining this decision (e.g. FedCA's
+  // b/c/n utility terms behind a stop). Policies fill this only when the
+  // obs trace collector is armed; the engine attaches them to the emitted
+  // trace events. Never read by the algorithm itself.
+  std::vector<std::pair<std::string, double>> trace_annotations;
 };
 
 // Per-client, stateful across rounds (this is where FedCA's profiling

@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "tensor/init.hpp"
 
 namespace fedca::nn {
@@ -37,6 +38,7 @@ Conv2d::Conv2d(std::string name_prefix, std::size_t in_channels, std::size_t out
 }
 
 Tensor Conv2d::forward(const Tensor& input) {
+  FEDCA_KERNEL_SPAN("conv2d.forward");
   require_nchw(input, geo_.in_channels, geo_.in_h, geo_.in_w, "Conv2d::forward");
   const std::size_t n = input.dim(0);
   const std::size_t oh = geo_.out_h(), ow = geo_.out_w();
@@ -64,6 +66,7 @@ Tensor Conv2d::forward(const Tensor& input) {
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
+  FEDCA_KERNEL_SPAN("conv2d.backward");
   const std::size_t oh = geo_.out_h(), ow = geo_.out_w();
   require_nchw(grad_output, out_channels_, oh, ow, "Conv2d::backward");
   const std::size_t n = grad_output.dim(0);

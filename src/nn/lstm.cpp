@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "tensor/init.hpp"
 #include "tensor/ops.hpp"
 
@@ -30,6 +31,7 @@ LSTM::LSTM(std::string name_prefix, std::size_t input_size, std::size_t hidden_s
 }
 
 Tensor LSTM::forward(const Tensor& input) {
+  FEDCA_KERNEL_SPAN("lstm.forward");
   if (input.ndim() != 3 || input.dim(1) != seq_len_ || input.dim(2) != input_size_) {
     throw std::invalid_argument("LSTM::forward expects [N, " + std::to_string(seq_len_) +
                                 ", " + std::to_string(input_size_) + "], got " +
@@ -94,6 +96,7 @@ Tensor LSTM::forward(const Tensor& input) {
 }
 
 Tensor LSTM::backward(const Tensor& grad_output) {
+  FEDCA_KERNEL_SPAN("lstm.backward");
   const std::size_t n = cached_batch_;
   const std::size_t H = hidden_size_;
   if (grad_output.ndim() != 2 || grad_output.dim(0) != n || grad_output.dim(1) != H) {

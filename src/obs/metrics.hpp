@@ -1,0 +1,148 @@
+// Process-global metrics registry — the numeric half of the observability
+// layer (the span tracer in obs/trace.hpp is the timeline half).
+//
+// Three instrument kinds, all thread-safe:
+//   * Counter   — monotonically accumulated double (events, bytes);
+//   * Gauge     — last-written value (sampled sizes, current accuracy);
+//   * Histogram — fixed-bucket distribution over [lo, hi) with a
+//     util::RunningStats summary (mean/min/max/stddev) and approximate
+//     percentiles interpolated from the buckets.
+//
+// Recording goes through the FEDCA_M* macros, which are no-ops (one relaxed
+// atomic load) unless metrics_enabled() — instrumented hot paths cost
+// nothing in ordinary runs. Snapshots export deterministically (sorted by
+// name) as JSONL or CSV, chosen by file extension in save().
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace fedca::util {
+class ThreadPool;
+}
+
+namespace fedca::obs {
+
+// Global recording switch. Off by default; experiment drivers flip it on
+// when a metrics output path is configured (or FEDCA_METRICS is set).
+bool metrics_enabled();
+void set_metrics_enabled(bool enabled);
+
+class Counter {
+ public:
+  void add(double v = 1.0) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t bins);
+
+  void record(double v);
+
+  // Approximate quantile (q in [0, 1]) by linear interpolation over the
+  // cumulative bucket counts; exact min/max from the running summary.
+  double quantile(double q) const;
+  util::RunningStats summary() const;
+  std::size_t count() const;
+
+ private:
+  double lo_;
+  double hi_;
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> counts_;
+  util::RunningStats stats_;
+};
+
+// One exported metric, flattened for the writers.
+struct MetricRow {
+  std::string name;
+  std::string kind;  // "counter" | "gauge" | "histogram"
+  double value = 0.0;  // counter/gauge value; histogram mean
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  // Instruments are created on first use and live until reset(); returned
+  // references stay valid across later registrations.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  HistogramMetric& histogram(const std::string& name, double lo, double hi,
+                             std::size_t bins);
+
+  // Deterministic export: rows sorted by name.
+  std::vector<MetricRow> snapshot() const;
+  void write_jsonl(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+  // Writes CSV when `path` ends in ".csv", JSONL otherwise; throws
+  // std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+  // Drops every instrument (tests only — outstanding references dangle).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+// Wires `pool`'s task-latency observer to the global registry: histograms
+// "threadpool.queue_seconds" and "threadpool.run_seconds" (recorded only
+// while metrics_enabled()). Call once per pool.
+void install_thread_pool_metrics(util::ThreadPool& pool);
+
+}  // namespace fedca::obs
+
+// Recording sites: a disabled registry costs one relaxed atomic load and
+// never evaluates the value expressions.
+#define FEDCA_MCOUNT(name, v)                                        \
+  do {                                                               \
+    if (::fedca::obs::metrics_enabled())                             \
+      ::fedca::obs::MetricsRegistry::global().counter(name).add(v);  \
+  } while (0)
+#define FEDCA_MGAUGE(name, v)                                        \
+  do {                                                               \
+    if (::fedca::obs::metrics_enabled())                             \
+      ::fedca::obs::MetricsRegistry::global().gauge(name).set(v);    \
+  } while (0)
+#define FEDCA_MHISTO(name, lo, hi, bins, v)                                      \
+  do {                                                                           \
+    if (::fedca::obs::metrics_enabled())                                         \
+      ::fedca::obs::MetricsRegistry::global().histogram(name, lo, hi, bins)      \
+          .record(v);                                                            \
+  } while (0)

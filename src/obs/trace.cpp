@@ -1,0 +1,302 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace fedca::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_us(double v) {
+  // Trace timestamps: fixed microsecond precision, no exponents (Chrome's
+  // JSON parser accepts them, but integers keep files diff-friendly).
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return std::string(buf);
+}
+
+const std::chrono::steady_clock::time_point g_wall_epoch =
+    std::chrono::steady_clock::now();
+
+std::uint32_t this_thread_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+TraceCollector& TraceCollector::global() {
+  static TraceCollector collector;
+  return collector;
+}
+
+void TraceCollector::set_enabled(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void TraceCollector::set_output_path(std::string path) {
+  bool arm = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    path_ = std::move(path);
+    arm = !path_.empty();
+  }
+  set_enabled(arm);
+}
+
+std::string TraceCollector::output_path() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return path_;
+}
+
+void TraceCollector::set_kernel_detail(bool on) {
+  kernel_detail_.store(on, std::memory_order_relaxed);
+}
+
+std::uint32_t TraceCollector::allocate_process_ids(std::uint32_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint32_t base = next_pid_;
+  next_pid_ += n;
+  return base;
+}
+
+void TraceCollector::set_process_name(std::uint32_t pid, std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  process_names_[pid] = std::move(name);
+}
+
+void TraceCollector::push(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void TraceCollector::record_span(std::uint32_t pid, std::string name,
+                                 double start_seconds, double end_seconds,
+                                 TraceArgs args, std::uint32_t tid) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.phase = 'X';
+  e.clock = Clock::kVirtual;
+  e.ts_us = start_seconds * 1e6;
+  e.dur_us = std::max(0.0, (end_seconds - start_seconds) * 1e6);
+  e.pid = pid;
+  e.tid = tid;
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+void TraceCollector::record_instant(std::uint32_t pid, std::string name,
+                                    double t_seconds, TraceArgs args,
+                                    std::uint32_t tid) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.phase = 'i';
+  e.clock = Clock::kVirtual;
+  e.ts_us = t_seconds * 1e6;
+  e.pid = pid;
+  e.tid = tid;
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+void TraceCollector::record_wall_span(std::string name, double start_seconds,
+                                      double end_seconds, TraceArgs args) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.phase = 'X';
+  e.clock = Clock::kWall;
+  e.ts_us = start_seconds * 1e6;
+  e.dur_us = std::max(0.0, (end_seconds - start_seconds) * 1e6);
+  e.pid = kWallClockPid;
+  e.tid = this_thread_tid();
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+double TraceCollector::wall_now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - g_wall_epoch)
+      .count();
+}
+
+std::size_t TraceCollector::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceCollector::snapshot_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+const std::map<std::uint32_t, std::string> TraceCollector::process_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return process_names_;
+}
+
+void TraceCollector::write_chrome_json(std::ostream& os) const {
+  std::vector<TraceEvent> events;
+  std::map<std::uint32_t, std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events = events_;
+    names = process_names_;
+  }
+  // Stable order: by pid, then tid, then timestamp — check_trace.py
+  // verifies per-track monotonicity on exactly this order.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.ts_us < b.ts_us;
+                   });
+  os << "[\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  if (!names.count(kWallClockPid)) {
+    names[kWallClockPid] = "host (wall clock)";
+  }
+  for (const auto& [pid, name] : names) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  }
+  for (const TraceEvent& e : events) {
+    sep();
+    os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+       << (e.clock == Clock::kVirtual ? "virtual" : "wall") << "\",\"ph\":\""
+       << e.phase << "\",\"ts\":" << fmt_us(e.ts_us);
+    if (e.phase == 'X') os << ",\"dur\":" << fmt_us(e.dur_us);
+    if (e.phase == 'i') os << ",\"s\":\"t\"";
+    os << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
+    if (!e.args.empty()) {
+      os << ",\"args\":{";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) os << ',';
+        os << '"' << json_escape(e.args[i].first) << "\":\""
+           << json_escape(e.args[i].second) << '"';
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "\n]\n";
+}
+
+void TraceCollector::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("TraceCollector::save: cannot open " + path);
+  write_chrome_json(out);
+  out.flush();
+  if (!out) throw std::runtime_error("TraceCollector::save: write failed for " + path);
+}
+
+bool TraceCollector::flush() const {
+  const std::string path = output_path();
+  if (path.empty()) return true;
+  save(path);
+  return true;
+}
+
+void TraceCollector::reset() {
+  set_enabled(false);
+  set_kernel_detail(false);
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  process_names_.clear();
+  next_pid_ = 1;
+  path_.clear();
+}
+
+ScopedWallSpan::ScopedWallSpan(const char* name, bool kernel_level)
+    : name_(name),
+      active_(TraceCollector::global().enabled() &&
+              (!kernel_level || TraceCollector::global().kernel_detail())) {
+  if (active_) start_seconds_ = TraceCollector::wall_now_seconds();
+}
+
+ScopedWallSpan::~ScopedWallSpan() {
+  if (!active_) return;
+  TraceCollector::global().record_wall_span(name_, start_seconds_,
+                                            TraceCollector::wall_now_seconds());
+}
+
+std::pair<std::string, std::string> configure(const std::string& trace_path,
+                                              const std::string& metrics_path) {
+  std::string trace = trace_path;
+  if (trace.empty()) {
+    if (const char* env = std::getenv("FEDCA_TRACE")) trace = env;
+  }
+  std::string metrics = metrics_path;
+  if (metrics.empty()) {
+    if (const char* env = std::getenv("FEDCA_METRICS")) metrics = env;
+  }
+  TraceCollector& collector = TraceCollector::global();
+  if (!trace.empty() && collector.output_path() != trace) {
+    collector.set_output_path(trace);
+  }
+  if (const char* detail = std::getenv("FEDCA_TRACE_DETAIL")) {
+    collector.set_kernel_detail(std::string_view(detail) == "kernels");
+  }
+  if (!metrics.empty()) set_metrics_enabled(true);
+  return {trace, metrics};
+}
+
+void flush_outputs(const std::string& metrics_path) {
+  // Telemetry must never destroy the run it observed: an unwritable
+  // output path degrades to an error log, not an uncaught throw after
+  // the experiment already spent its compute.
+  TraceCollector& collector = TraceCollector::global();
+  if (collector.enabled()) {
+    try {
+      collector.flush();
+    } catch (const std::exception& e) {
+      FEDCA_LOG_ERROR("obs") << "trace not written: " << e.what();
+    }
+  }
+  if (!metrics_path.empty()) {
+    try {
+      MetricsRegistry::global().save(metrics_path);
+    } catch (const std::exception& e) {
+      FEDCA_LOG_ERROR("obs") << "metrics not written: " << e.what();
+    }
+  }
+}
+
+}  // namespace fedca::obs

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace fedca::sim {
 
 namespace {
@@ -110,6 +112,19 @@ std::vector<Transfer> SharedLink::schedule(
       }
     }
     now = next_event;
+  }
+  if (obs::metrics_enabled()) {
+    // Contention accounting: how much longer each flow took than it would
+    // have alone at its per-flow rate (the queueing delay induced by the
+    // shared server ingress).
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ideal =
+          requests[i].bytes * 8.0 / (per_flow_mbps_ * kBitsPerMb);
+      const double actual = result[i].end - result[i].start;
+      FEDCA_MCOUNT("sim.shared_link.flows", 1.0);
+      FEDCA_MHISTO("sim.shared_link.queue_seconds", 0.0, 60.0, 60,
+                   std::max(0.0, actual - ideal));
+    }
   }
   return result;
 }

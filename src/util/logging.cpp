@@ -11,6 +11,7 @@ namespace {
 
 std::atomic<int> g_level{-1};  // -1: not yet initialized from environment.
 std::mutex g_write_mutex;
+std::atomic<LogSink> g_sink{nullptr};
 
 LogLevel level_from_env() {
   const char* env = std::getenv("FEDCA_LOG");
@@ -60,11 +61,28 @@ std::string_view log_level_name(LogLevel level) {
 
 void log_line(LogLevel level, std::string_view component, std::string_view message) {
   if (level < log_level() || level == LogLevel::kOff) return;
+  detail::emit_line(level, component, message);
+}
+
+void set_log_sink_for_testing(LogSink sink) {
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void emit_line(LogLevel level, std::string_view component, std::string_view message) {
+  if (const LogSink sink = g_sink.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(g_write_mutex);
+    sink(level, component, message);
+    return;
+  }
   std::lock_guard<std::mutex> lock(g_write_mutex);
   std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
                static_cast<int>(log_level_name(level).size()), log_level_name(level).data(),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());
 }
+
+}  // namespace detail
 
 }  // namespace fedca::util

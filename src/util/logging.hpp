@@ -38,27 +38,45 @@ std::string_view log_level_name(LogLevel level);
 // above the global threshold. Thread-safe (single write syscall per line).
 void log_line(LogLevel level, std::string_view component, std::string_view message);
 
+// Test hook: redirects emitted lines to `sink` instead of stderr; nullptr
+// restores stderr. Not for production use.
+using LogSink = void (*)(LogLevel level, std::string_view component,
+                         std::string_view message);
+void set_log_sink_for_testing(LogSink sink);
+
 namespace detail {
+
+// Formats and writes one line WITHOUT re-checking the level — the caller
+// already decided. Thread-safe.
+void emit_line(LogLevel level, std::string_view component, std::string_view message);
 
 // Stream-style builder so call sites can write
 //   FEDCA_LOG_INFO("server") << "round " << r << " done";
+// The enabled decision is made ONCE, at construction: a disabled stream
+// skips all formatting, and a set_log_level() change mid-stream can
+// neither tear the line nor resurrect a suppressed one.
 class LogStream {
  public:
   LogStream(LogLevel level, std::string_view component)
-      : level_(level), component_(component) {}
+      : level_(level),
+        component_(component),
+        enabled_(level != LogLevel::kOff && level >= log_level()) {}
   LogStream(const LogStream&) = delete;
   LogStream& operator=(const LogStream&) = delete;
-  ~LogStream() { log_line(level_, component_, stream_.str()); }
+  ~LogStream() {
+    if (enabled_) emit_line(level_, component_, stream_.str());
+  }
 
   template <typename T>
   LogStream& operator<<(const T& value) {
-    if (level_ >= log_level()) stream_ << value;
+    if (enabled_) stream_ << value;
     return *this;
   }
 
  private:
   LogLevel level_;
   std::string component_;
+  bool enabled_;
   std::ostringstream stream_;
 };
 

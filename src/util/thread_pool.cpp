@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 namespace fedca::util {
@@ -25,6 +26,29 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::shared_ptr<const TaskObserver> observer;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    observer = observer_;
+  }
+  if (observer) {
+    const auto enqueued = std::chrono::steady_clock::now();
+    task = [observer, enqueued, inner = std::move(task)] {
+      const auto started = std::chrono::steady_clock::now();
+      const double queued = std::chrono::duration<double>(started - enqueued).count();
+      try {
+        inner();
+      } catch (...) {
+        (*observer)(queued, std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - started)
+                                .count());
+        throw;
+      }
+      (*observer)(queued, std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - started)
+                              .count());
+    };
+  }
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> fut = packaged.get_future();
   {
@@ -33,6 +57,12 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   }
   cv_.notify_one();
   return fut;
+}
+
+void ThreadPool::set_task_observer(TaskObserver observer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  observer_ = observer ? std::make_shared<const TaskObserver>(std::move(observer))
+                       : nullptr;
 }
 
 void ThreadPool::parallel_for(std::size_t n,

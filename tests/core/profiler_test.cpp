@@ -2,8 +2,11 @@
 // fidelity, memory accounting.
 #include <gtest/gtest.h>
 
+#include <numeric>
+
 #include "core/sampling_profiler.hpp"
 #include "nn/linear.hpp"
+#include "nn/models.hpp"
 #include "nn/sequential.hpp"
 #include "tensor/ops.hpp"
 
@@ -135,6 +138,40 @@ TEST(Profiler, MemoryAccountingMatchesSampledCount) {
   profiler.finish_round();
   const std::size_t n = profiler.sampled_param_count();
   EXPECT_EQ(profiler.profiling_bytes(125), n * 4u * 125u);
+}
+
+TEST(Profiler, PaperMemoryClaimUnderFourMegabytes) {
+  // Sec. 5.5: with min(50 %, 100) per-layer sampling, profiling a K = 125
+  // anchor round costs at most ~4 MB even for the largest model (paper:
+  // 0.24 / 0.34 / 3.8 MB for CNN / LSTM / WRN). Verify the bound holds for
+  // every instantiated model, and that the per-layer breakdown reported by
+  // sampled_per_layer() is consistent and respects the budget rule.
+  constexpr std::size_t kPaperK = 125;
+  constexpr std::size_t kFourMb = 4u * 1024u * 1024u;
+  for (const nn::ModelKind kind :
+       {nn::ModelKind::kCnn, nn::ModelKind::kLstm, nn::ModelKind::kWrn}) {
+    util::Rng rng(18);
+    nn::Classifier model = nn::build_model(kind, rng);
+    core::SamplingProfiler profiler(core::ProfilerOptions{}, util::Rng(19));
+    const nn::ModelState state = model.state();
+    profiler.begin_round(0, state);
+    profiler.record_iteration(model.backbone());
+    profiler.finish_round();
+    EXPECT_LE(profiler.profiling_bytes(kPaperK), kFourMb)
+        << model.info().name << " exceeds the Sec. 5.5 claim";
+
+    const std::vector<std::size_t> per_layer = profiler.sampled_per_layer();
+    ASSERT_EQ(per_layer.size(), state.layer_count()) << model.info().name;
+    EXPECT_EQ(std::accumulate(per_layer.begin(), per_layer.end(), std::size_t{0}),
+              profiler.sampled_param_count());
+    for (std::size_t layer = 0; layer < per_layer.size(); ++layer) {
+      const std::size_t numel = state.tensors[layer].numel();
+      const std::size_t budget =
+          std::max<std::size_t>(1, std::min<std::size_t>(numel / 2, 100));
+      EXPECT_LE(per_layer[layer], budget)
+          << model.info().name << " layer " << state.names[layer];
+    }
+  }
 }
 
 TEST(Profiler, RecordingProtocolErrors) {

@@ -1,0 +1,172 @@
+// Span tracer: clock domains, pid allocation, Chrome-trace JSON output.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace fedca {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::TraceCollector::global().reset(); }
+  void TearDown() override {
+    obs::TraceCollector::global().reset();
+    obs::set_metrics_enabled(false);  // configure() may have armed metrics
+    obs::MetricsRegistry::global().reset();
+  }
+};
+
+TEST_F(TraceTest, DisabledCollectorRecordsNothing) {
+  obs::TraceCollector& t = obs::TraceCollector::global();
+  EXPECT_FALSE(t.enabled());
+  t.record_span(1, "ignored", 0.0, 1.0);
+  t.record_instant(1, "ignored", 0.5);
+  { FEDCA_WALL_SPAN("ignored.wall"); }
+  EXPECT_EQ(t.event_count(), 0u);
+}
+
+TEST_F(TraceTest, OutputPathArmsCollector) {
+  obs::TraceCollector& t = obs::TraceCollector::global();
+  t.set_output_path("some/trace.json");
+  EXPECT_TRUE(t.enabled());
+  EXPECT_EQ(t.output_path(), "some/trace.json");
+  t.set_output_path("");
+  EXPECT_FALSE(t.enabled());
+}
+
+TEST_F(TraceTest, PidAllocationSkipsWallPid) {
+  obs::TraceCollector& t = obs::TraceCollector::global();
+  const std::uint32_t first = t.allocate_process_ids(3);
+  const std::uint32_t second = t.allocate_process_ids(2);
+  EXPECT_GT(first, obs::kWallClockPid);
+  EXPECT_EQ(second, first + 3);
+}
+
+TEST_F(TraceTest, VirtualAndWallDomainsStayDistinct) {
+  obs::TraceCollector& t = obs::TraceCollector::global();
+  t.set_enabled(true);
+  const std::uint32_t pid = t.allocate_process_ids(1);
+  t.set_process_name(pid, "client 0");
+  t.record_span(pid, "compute", 1.0, 3.5, {{"round", "2"}});
+  { FEDCA_WALL_SPAN("sgd.real_work"); }
+
+  const std::vector<obs::TraceEvent> events = t.snapshot_events();
+  ASSERT_EQ(events.size(), 2u);
+  const auto virt = std::find_if(events.begin(), events.end(), [](const auto& e) {
+    return e.clock == obs::Clock::kVirtual;
+  });
+  const auto wall = std::find_if(events.begin(), events.end(), [](const auto& e) {
+    return e.clock == obs::Clock::kWall;
+  });
+  ASSERT_NE(virt, events.end());
+  ASSERT_NE(wall, events.end());
+  EXPECT_EQ(virt->pid, pid);
+  EXPECT_DOUBLE_EQ(virt->ts_us, 1.0e6);
+  EXPECT_DOUBLE_EQ(virt->dur_us, 2.5e6);
+  // Wall spans live in the reserved pid, never a virtual one.
+  EXPECT_EQ(wall->pid, obs::kWallClockPid);
+  EXPECT_GE(wall->dur_us, 0.0);
+}
+
+TEST_F(TraceTest, NestedWallSpansBothRecorded) {
+  obs::TraceCollector& t = obs::TraceCollector::global();
+  t.set_enabled(true);
+  {
+    FEDCA_WALL_SPAN("outer");
+    { FEDCA_WALL_SPAN("inner"); }
+  }
+  const std::vector<obs::TraceEvent> events = t.snapshot_events();
+  ASSERT_EQ(events.size(), 2u);
+  // Same thread -> same tid; the inner span closes first but nests inside
+  // the outer one's interval.
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  const obs::TraceEvent& inner = events[0].name == "inner" ? events[0] : events[1];
+  const obs::TraceEvent& outer = events[0].name == "outer" ? events[0] : events[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us + 1.0);
+}
+
+TEST_F(TraceTest, KernelSpansRequireDetailFlag) {
+  obs::TraceCollector& t = obs::TraceCollector::global();
+  t.set_enabled(true);
+  { FEDCA_KERNEL_SPAN("conv2d.forward"); }
+  EXPECT_EQ(t.event_count(), 0u);
+  t.set_kernel_detail(true);
+  { FEDCA_KERNEL_SPAN("conv2d.forward"); }
+  EXPECT_EQ(t.event_count(), 1u);
+  t.set_kernel_detail(false);
+}
+
+TEST_F(TraceTest, ChromeJsonIsValidAndSorted) {
+  obs::TraceCollector& t = obs::TraceCollector::global();
+  t.set_enabled(true);
+  const std::uint32_t base = t.allocate_process_ids(2);
+  t.set_process_name(base, "server");
+  t.set_process_name(base + 1, "client 0");
+  // Record out of order; the writer must sort by (pid, tid, ts).
+  t.record_span(base + 1, "upload", 5.0, 6.0);
+  t.record_span(base + 1, "download", 0.0, 1.0);
+  t.record_instant(base, "aggregate", 6.5, {{"round", "0"}});
+
+  std::ostringstream os;
+  t.write_chrome_json(os);
+  const std::string json = os.str();
+
+  // Structural checks without a JSON parser: array brackets, one object
+  // per line, metadata naming both processes plus the wall-clock host.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.substr(json.size() - 2), "]\n");
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("host (wall clock)"), std::string::npos);
+  EXPECT_NE(json.find("\"server\""), std::string::npos);
+  EXPECT_NE(json.find("\"client 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"virtual\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);  // instant scope
+  // download precedes upload after sorting.
+  EXPECT_LT(json.find("\"download\""), json.find("\"upload\""));
+}
+
+TEST_F(TraceTest, ArgsEscapedInJson) {
+  obs::TraceCollector& t = obs::TraceCollector::global();
+  t.set_enabled(true);
+  const std::uint32_t pid = t.allocate_process_ids(1);
+  t.record_instant(pid, "odd \"name\"", 0.0, {{"k", "va\\lue\n"}});
+  std::ostringstream os;
+  t.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("odd \\\"name\\\""), std::string::npos);
+  EXPECT_NE(json.find("va\\\\lue\\n"), std::string::npos);
+}
+
+TEST_F(TraceTest, ConfigureHonorsExplicitPathsOverEnv) {
+  // Explicit argument wins regardless of environment.
+  const auto paths = obs::configure("explicit_trace.json", "explicit_metrics.csv");
+  EXPECT_EQ(paths.first, "explicit_trace.json");
+  EXPECT_EQ(paths.second, "explicit_metrics.csv");
+  EXPECT_TRUE(obs::TraceCollector::global().enabled());
+  EXPECT_EQ(obs::TraceCollector::global().output_path(), "explicit_trace.json");
+}
+
+TEST_F(TraceTest, ResetClearsEverything) {
+  obs::TraceCollector& t = obs::TraceCollector::global();
+  t.set_output_path("x.json");
+  const std::uint32_t pid = t.allocate_process_ids(1);
+  t.record_instant(pid, "e", 0.0);
+  t.reset();
+  EXPECT_FALSE(t.enabled());
+  EXPECT_EQ(t.event_count(), 0u);
+  EXPECT_TRUE(t.output_path().empty());
+  EXPECT_TRUE(t.process_names().empty());
+}
+
+}  // namespace
+}  // namespace fedca

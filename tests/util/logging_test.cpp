@@ -1,6 +1,10 @@
 // Log-level parsing and threshold behaviour.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "util/logging.hpp"
 
 namespace fedca {
@@ -30,6 +34,45 @@ TEST(Logging, SetAndGetLevel) {
   EXPECT_EQ(util::log_level(), util::LogLevel::kError);
   // Below-threshold logging must be a no-op (smoke: just call it).
   FEDCA_LOG_DEBUG("test") << "suppressed " << 42;
+  util::set_log_level(saved);
+}
+
+namespace sink_capture {
+std::vector<std::string> lines;
+void capture(util::LogLevel, std::string_view, std::string_view message) {
+  lines.emplace_back(message);
+}
+}  // namespace sink_capture
+
+// A stream decides enabled-ness once, at construction. Changing the level
+// mid-stream must neither tear the line (emit a partial message) nor
+// suppress an already-enabled one.
+TEST(Logging, LevelChangeMidStreamCannotTearLine) {
+  const util::LogLevel saved = util::log_level();
+  sink_capture::lines.clear();
+  util::set_log_sink_for_testing(&sink_capture::capture);
+
+  util::set_log_level(util::LogLevel::kInfo);
+  {
+    util::detail::LogStream stream(util::LogLevel::kInfo, "test");
+    stream << "part1";
+    util::set_log_level(util::LogLevel::kError);  // raise threshold mid-stream
+    stream << " part2";
+  }  // destructor emits: the stream was enabled at construction
+  ASSERT_EQ(sink_capture::lines.size(), 1u);
+  EXPECT_EQ(sink_capture::lines[0], "part1 part2");
+
+  // Conversely, a stream constructed below threshold stays silent even if
+  // the level drops mid-stream.
+  {
+    util::detail::LogStream stream(util::LogLevel::kDebug, "test");
+    stream << "never";
+    util::set_log_level(util::LogLevel::kTrace);
+    stream << " emitted";
+  }
+  EXPECT_EQ(sink_capture::lines.size(), 1u);
+
+  util::set_log_sink_for_testing(nullptr);
   util::set_log_level(saved);
 }
 

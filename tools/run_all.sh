@@ -1,5 +1,6 @@
 #!/bin/sh
-# Final validation pass: full test suite + every bench binary.
+# Final validation pass: full test suite + every bench binary + trace
+# validation + (optional) a TSan pass over the instrumented engine.
 set -u
 cd "$(dirname "$0")/.."
 ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
@@ -9,3 +10,29 @@ for b in build/bench/*; do
   echo "===== $b ====="
   "$b" csv_dir=/root/repo/results
 done 2>&1 | tee /root/repo/bench_output.txt
+
+# Observability smoke: a traced quickstart must produce a Chrome-trace file
+# that check_trace.py accepts, with the canonical span set present.
+echo "===== traced quickstart ====="
+FEDCA_TRACE=/root/repo/results/quickstart_trace.json \
+FEDCA_METRICS=/root/repo/results/quickstart_metrics.csv \
+  build/examples/quickstart rounds=6 clients=6 k=12 samples=600 \
+  2>&1 | tee /root/repo/trace_output.txt
+python3 tools/check_trace.py /root/repo/results/quickstart_trace.json \
+  --expect download --expect compute --expect upload.final --expect aggregate \
+  --expect round 2>&1 | tee -a /root/repo/trace_output.txt
+
+# TSan pass over the concurrency-sensitive pieces (the metrics registry,
+# the tracer, and the instrumented round engine under the thread pool).
+# FEDCA_TSAN=0 skips it (e.g. when the toolchain lacks libtsan).
+if [ "${FEDCA_TSAN:-1}" != "0" ]; then
+  echo "===== tsan =====" | tee /root/repo/tsan_output.txt
+  cmake -B build-tsan -S . -DFEDCA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    >>/root/repo/tsan_output.txt 2>&1 &&
+  cmake --build build-tsan --target obs_metrics_test obs_trace_test \
+    fl_round_engine_test -j "$(nproc)" >>/root/repo/tsan_output.txt 2>&1 &&
+  for t in obs_metrics_test obs_trace_test fl_round_engine_test; do
+    echo "--- $t (tsan) ---"
+    "build-tsan/tests/$t" || exit 1
+  done 2>&1 | tee -a /root/repo/tsan_output.txt
+fi
