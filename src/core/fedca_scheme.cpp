@@ -1,5 +1,6 @@
 #include "core/fedca_scheme.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace fedca::core {
@@ -63,6 +64,9 @@ void FedCaScheme::observe_round(const fl::RoundRecord& record) {
   std::vector<double> durations;
   durations.reserve(record.clients.size());
   for (const fl::ClientRoundResult& r : record.clients) {
+    // Crashed/dropped clients (fault injection) never delivered; an
+    // infinite duration sample would pin T_R at infinity forever.
+    if (r.failed || !std::isfinite(r.arrival_time)) continue;
     durations.push_back(r.arrival_time - record.start_time);
   }
   deadline_.observe_round(durations);

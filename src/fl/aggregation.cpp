@@ -10,25 +10,34 @@ namespace fedca::fl {
 std::vector<std::size_t> select_earliest(const std::vector<ClientRoundResult>& results,
                                          double fraction) {
   if (results.empty()) return {};
+  std::vector<std::size_t> all(results.size());
+  std::iota(all.begin(), all.end(), 0);
+  return select_earliest(results, all, results.size(), fraction);
+}
+
+std::vector<std::size_t> select_earliest(const std::vector<ClientRoundResult>& results,
+                                         const std::vector<std::size_t>& candidates,
+                                         std::size_t quota_base, double fraction) {
+  if (candidates.empty()) return {};
   fraction = std::clamp(fraction, 1e-9, 1.0);
-  const auto quota = static_cast<std::size_t>(
-      std::ceil(fraction * static_cast<double>(results.size())));
-  std::vector<std::size_t> order(results.size());
-  std::iota(order.begin(), order.end(), 0);
+  const auto quota = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(fraction * static_cast<double>(quota_base))));
+  std::vector<std::size_t> order = candidates;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     if (results[a].arrival_time != results[b].arrival_time) {
       return results[a].arrival_time < results[b].arrival_time;
     }
     return results[a].client_id < results[b].client_id;
   });
-  order.resize(std::max<std::size_t>(1, quota));
+  if (order.size() > quota) order.resize(quota);
   std::sort(order.begin(), order.end());
   return order;
 }
 
-void apply_aggregated_update(nn::ModelState& global,
-                             const std::vector<ClientRoundResult>& results,
-                             const std::vector<std::size_t>& selected) {
+std::vector<double> apply_aggregated_update(nn::ModelState& global,
+                                            const std::vector<ClientRoundResult>& results,
+                                            const std::vector<std::size_t>& selected) {
   if (selected.empty()) {
     throw std::invalid_argument("apply_aggregated_update: empty selection");
   }
@@ -39,15 +48,19 @@ void apply_aggregated_update(nn::ModelState& global,
   if (total_weight <= 0.0) {
     throw std::invalid_argument("apply_aggregated_update: nonpositive total weight");
   }
+  std::vector<double> normalized;
+  normalized.reserve(selected.size());
   for (const std::size_t idx : selected) {
     const ClientRoundResult& r = results.at(idx);
     if (!r.applied_update.same_layout(global)) {
       throw std::invalid_argument("apply_aggregated_update: layout mismatch for client " +
                                   std::to_string(r.client_id));
     }
-    const auto scale = static_cast<float>(r.weight / total_weight);
-    nn::state_add_scaled(global, scale, r.applied_update);
+    const double share = r.weight / total_weight;
+    nn::state_add_scaled(global, static_cast<float>(share), r.applied_update);
+    normalized.push_back(share);
   }
+  return normalized;
 }
 
 }  // namespace fedca::fl

@@ -20,11 +20,22 @@ namespace fedca::fl {
 std::vector<std::size_t> select_earliest(const std::vector<ClientRoundResult>& results,
                                          double fraction);
 
+// Fault-aware variant: the quota is still ceil(fraction * quota_base) —
+// the *planned* participant count — but only `candidates` (survivors of
+// fault filtering) are eligible, so the selection shrinks further when
+// fewer than the quota survive. With candidates covering all results and
+// quota_base == results.size() this reduces exactly to the overload above.
+std::vector<std::size_t> select_earliest(const std::vector<ClientRoundResult>& results,
+                                         const std::vector<std::size_t>& candidates,
+                                         std::size_t quota_base, double fraction);
+
 // Weighted mean of the selected updates, added in place to `global`.
 // Weights are each client's `weight` (dataset size), normalized over the
-// selected subset. Throws if `selected` is empty or layouts mismatch.
-void apply_aggregated_update(nn::ModelState& global,
-                             const std::vector<ClientRoundResult>& results,
-                             const std::vector<std::size_t>& selected);
+// selected subset. Returns the normalized weight per selected entry
+// (parallel to `selected`; sums to 1). Throws if `selected` is empty or
+// layouts mismatch.
+std::vector<double> apply_aggregated_update(nn::ModelState& global,
+                                            const std::vector<ClientRoundResult>& results,
+                                            const std::vector<std::size_t>& selected);
 
 }  // namespace fedca::fl

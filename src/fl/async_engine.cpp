@@ -38,55 +38,153 @@ AsyncEngine::AsyncEngine(nn::Classifier* model, sim::Cluster* cluster,
 void AsyncEngine::load_global_into_model() { model_->load(global_); }
 
 void AsyncEngine::launch(std::size_t c, double t) {
+  obs::TraceCollector& tracer = obs::TraceCollector::global();
+  const bool tracing = tracer.enabled();
+  if (tracing && trace_pid_base_ == 0) {
+    const auto n = static_cast<std::uint32_t>(cluster_->size());
+    trace_pid_base_ = tracer.allocate_process_ids(n + 1);
+    tracer.set_process_name(trace_pid_base_, "async/server");
+    for (std::uint32_t i = 0; i < n; ++i) {
+      tracer.set_process_name(trace_pid_base_ + 1 + i,
+                              "async/client " + std::to_string(i));
+    }
+  }
+  const std::uint32_t pid = trace_pid_base_ + 1 + static_cast<std::uint32_t>(c);
+
+  // Fault gate: a crashed client never launches again; a client inside a
+  // dropout window starts its cycle when the window closes.
+  const sim::FaultInjector* faults = cluster_->faults().get();
+  double start = t;
+  if (faults != nullptr) {
+    start = faults->online_after(c, t);
+    if (!std::isfinite(start)) {
+      in_flight_[c].dead = true;
+      in_flight_[c].arrival_time = kNoDeadline;
+      FEDCA_MCOUNT("faults.crashes", 1.0);
+      if (tracing) {
+        tracer.record_instant(pid, "fault.crash", t,
+                              {{"client", std::to_string(c)}});
+      }
+      return;
+    }
+  }
+
   sim::ClientDevice& device = cluster_->client(c);
   const double bytes_per_param = model_->info().bytes_per_actual_param();
   const double model_bytes =
       static_cast<double>(global_.numel()) * bytes_per_param +
       options_.upload_header_bytes;
 
-  const sim::Transfer download = device.downlink().transmit(t, model_bytes);
+  const sim::Transfer download = device.downlink().transmit(start, model_bytes);
   const double compute_work = static_cast<double>(options_.local_iterations) *
                               model_->info().nominal_iteration_seconds;
   const double compute_done = device.compute_finish(download.end, compute_work);
   const sim::Transfer upload = device.uplink().transmit(compute_done, model_bytes);
 
-  obs::TraceCollector& tracer = obs::TraceCollector::global();
-  if (tracer.enabled()) {
-    if (trace_pid_base_ == 0) {
-      const auto n = static_cast<std::uint32_t>(cluster_->size());
-      trace_pid_base_ = tracer.allocate_process_ids(n + 1);
-      tracer.set_process_name(trace_pid_base_, "async/server");
-      for (std::uint32_t i = 0; i < n; ++i) {
-        tracer.set_process_name(trace_pid_base_ + 1 + i,
-                                "async/client " + std::to_string(i));
-      }
+  InFlight flight;
+  flight.downloaded_version = version_;
+
+  if (!std::isfinite(upload.end)) {
+    // Permanent link outage somewhere in the cycle: the client can never
+    // deliver again.
+    in_flight_[c].dead = true;
+    in_flight_[c].arrival_time = kNoDeadline;
+    FEDCA_MCOUNT("faults.link_outages", 1.0);
+    if (tracing) {
+      tracer.record_instant(pid, "fault.link_outage", start,
+                            {{"client", std::to_string(c)}});
     }
-    const std::uint32_t pid = trace_pid_base_ + 1 + static_cast<std::uint32_t>(c);
+    return;
+  }
+
+  // Mid-cycle dropout/crash: the cycle is lost at the moment the client
+  // goes offline; step() relaunches it once it is back.
+  const double fail_time =
+      faults != nullptr ? faults->next_offline(c, start) : kNoDeadline;
+  if (upload.end > fail_time) {
+    flight.lost = true;
+    flight.arrival_time = fail_time;
+    const bool is_crash = faults->crashed_at(c, fail_time);
+    if (is_crash) {
+      FEDCA_MCOUNT("faults.crashes", 1.0);
+    } else {
+      FEDCA_MCOUNT("faults.dropouts", 1.0);
+    }
+    if (tracing) {
+      tracer.record_instant(pid, is_crash ? "fault.crash" : "fault.dropout",
+                            fail_time, {{"client", std::to_string(c)}});
+    }
+    in_flight_[c] = std::move(flight);
+    return;
+  }
+
+  // Cycle timeout: a straggler cycle is cut off and retried rather than
+  // blocking the arrival queue for virtual hours.
+  if (options_.cycle_timeout != kNoDeadline &&
+      upload.end > start + options_.cycle_timeout) {
+    flight.lost = true;
+    flight.arrival_time = start + options_.cycle_timeout;
+    FEDCA_MCOUNT("async.cycle_timeouts", 1.0);
+    if (tracing) {
+      tracer.record_instant(pid, "recovery.cycle_timeout", flight.arrival_time,
+                            {{"client", std::to_string(c)}});
+    }
+    in_flight_[c] = std::move(flight);
+    return;
+  }
+
+  if (tracing) {
     const obs::TraceArgs version{{"version", std::to_string(version_)}};
-    tracer.record_span(pid, "download", t, download.end, version);
+    tracer.record_span(pid, "download", start, download.end, version);
     tracer.record_span(pid, "compute", download.end, compute_done, version);
     tracer.record_span(pid, "upload", upload.start, upload.end, version);
   }
 
-  InFlight flight;
   flight.arrival_time = upload.end;
-  flight.downloaded_version = version_;
   flight.snapshot = global_;
   in_flight_[c] = std::move(flight);
 }
 
+std::size_t AsyncEngine::live_clients() const {
+  std::size_t live = 0;
+  for (const InFlight& f : in_flight_) {
+    if (!f.dead) ++live;
+  }
+  return live;
+}
+
 AsyncUpdateRecord AsyncEngine::step() {
-  // Earliest arrival wins (ties: lowest client id for determinism).
-  std::size_t winner = 0;
+  // Earliest arrival wins (ties: lowest client id for determinism);
+  // permanently dead clients never arrive.
+  std::size_t winner = in_flight_.size();
   double best = std::numeric_limits<double>::infinity();
   for (std::size_t c = 0; c < in_flight_.size(); ++c) {
-    if (in_flight_[c].arrival_time < best) {
+    if (!in_flight_[c].dead && in_flight_[c].arrival_time < best) {
       best = in_flight_[c].arrival_time;
       winner = c;
     }
   }
+  if (winner == in_flight_.size()) {
+    throw std::runtime_error("AsyncEngine::step: no live clients remain");
+  }
   InFlight flight = std::move(in_flight_[winner]);
   clock_ = flight.arrival_time;
+
+  if (flight.lost) {
+    // Abandoned cycle: nothing arrives and nothing is applied; the client
+    // simply starts over (launch() waits out any dropout window).
+    AsyncUpdateRecord record;
+    record.client_id = winner;
+    record.arrival_time = flight.arrival_time;
+    record.downloaded_version = flight.downloaded_version;
+    record.applied_version = version_;
+    record.staleness = version_ - flight.downloaded_version;
+    record.weight = 0.0;
+    record.lost = true;
+    FEDCA_MCOUNT("faults.async_lost", 1.0);
+    launch(winner, clock_);
+    return record;
+  }
 
   // Train the winner's cycle NOW, from the snapshot it downloaded. The
   // timing was already committed at launch; training is time-free.
@@ -132,7 +230,10 @@ AsyncUpdateRecord AsyncEngine::step() {
 std::vector<AsyncUpdateRecord> AsyncEngine::run_updates(std::size_t updates) {
   std::vector<AsyncUpdateRecord> records;
   records.reserve(updates);
-  for (std::size_t i = 0; i < updates; ++i) records.push_back(step());
+  for (std::size_t i = 0; i < updates; ++i) {
+    if (live_clients() == 0) break;  // fault injection killed everyone
+    records.push_back(step());
+  }
   return records;
 }
 

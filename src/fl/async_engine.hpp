@@ -44,6 +44,10 @@ struct AsyncEngineOptions {
   // Polynomial staleness discount exponent (0 = ignore staleness).
   double staleness_power = 0.5;
   double upload_header_bytes = 512.0;
+  // Cap on one client cycle (download + compute + upload). A cycle that
+  // would run longer is abandoned at start + cycle_timeout and the client
+  // relaunched; kNoDeadline (default) keeps behavior bit-identical.
+  double cycle_timeout = kNoDeadline;
 };
 
 struct AsyncUpdateRecord {
@@ -53,6 +57,9 @@ struct AsyncUpdateRecord {
   std::size_t applied_version = 0;  // global version after applying
   std::size_t staleness = 0;
   double weight = 0.0;              // effective mixing weight used
+  // The cycle was abandoned (dropout/crash mid-cycle or cycle timeout):
+  // nothing was trained or applied and the global version did not move.
+  bool lost = false;
 };
 
 class AsyncEngine {
@@ -62,15 +69,20 @@ class AsyncEngine {
               util::Rng rng);
 
   // Processes the next arriving client update: applies it to the global
-  // model and immediately relaunches that client. Returns the record.
+  // model and immediately relaunches that client. Returns the record (a
+  // `lost` record when the cycle was abandoned — nothing applied). Throws
+  // when every client is permanently dead.
   AsyncUpdateRecord step();
 
-  // Runs until `updates` arrivals have been applied.
+  // Runs until `updates` arrivals have been processed, stopping early if
+  // no live clients remain.
   std::vector<AsyncUpdateRecord> run_updates(std::size_t updates);
 
   double now() const { return clock_; }
   std::size_t global_version() const { return version_; }
   const nn::ModelState& global_state() const { return global_; }
+  // Clients not permanently crashed / cut off (fault injection).
+  std::size_t live_clients() const;
   void load_global_into_model();
 
  private:
@@ -78,6 +90,8 @@ class AsyncEngine {
     double arrival_time = 0.0;
     std::size_t downloaded_version = 0;
     nn::ModelState snapshot;  // the global the client trained from
+    bool lost = false;        // cycle abandoned at arrival_time
+    bool dead = false;        // client permanently out (crash / dead link)
   };
 
   // Starts client `c`'s next cycle at virtual time `t`.

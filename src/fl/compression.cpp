@@ -29,6 +29,7 @@ double QsgdQuantizer::bits_per_element() const {
 }
 
 double QsgdQuantizer::compress(tensor::Tensor& layer_update, double bytes_per_param) {
+  if (layer_update.numel() == 0) return 0.0;  // nothing on the wire
   const double norm = tensor::l2_norm(layer_update.data());
   if (norm > 0.0) {
     const auto s = static_cast<double>(levels_);
@@ -62,6 +63,7 @@ std::string TopKSparsifier::name() const {
 
 double TopKSparsifier::compress(tensor::Tensor& layer_update, double bytes_per_param) {
   const std::size_t n = layer_update.numel();
+  if (n == 0) return 0.0;  // k = max(1, 0) would bill bytes for no payload
   const std::size_t k = std::max<std::size_t>(
       1, static_cast<std::size_t>(fraction_ * static_cast<double>(n)));
   if (k < n) {

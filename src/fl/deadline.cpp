@@ -18,8 +18,16 @@ DeadlineEstimator::DeadlineEstimator(std::size_t history_rounds, double min_frac
 }
 
 void DeadlineEstimator::observe_round(const std::vector<double>& durations) {
-  if (durations.empty()) return;
-  window_.push_back(durations);
+  // Non-finite samples (clients that never delivered under fault
+  // injection) carry no pacing information and would make every candidate
+  // deadline look infinitely generous — drop them at the door.
+  std::vector<double> finite;
+  finite.reserve(durations.size());
+  for (const double d : durations) {
+    if (std::isfinite(d)) finite.push_back(d);
+  }
+  if (finite.empty()) return;
+  window_.push_back(std::move(finite));
   while (window_.size() > history_rounds_) window_.pop_front();
 }
 

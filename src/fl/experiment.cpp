@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -66,6 +66,8 @@ ExperimentSetup make_setup(const ExperimentOptions& options, Scheme& scheme) {
   sim::ClusterOptions cluster_options = options.cluster;
   cluster_options.num_clients = options.num_clients;
   setup.cluster = std::make_unique<sim::Cluster>(cluster_options, cluster_rng);
+  setup.faults = sim::FaultInjector::from_options(options.faults, options.num_clients);
+  if (setup.faults != nullptr) setup.cluster->install_faults(setup.faults);
 
   RoundEngineOptions engine_options;
   engine_options.local_iterations = options.local_iterations;
@@ -73,6 +75,7 @@ ExperimentSetup make_setup(const ExperimentOptions& options, Scheme& scheme) {
   engine_options.optimizer = options.optimizer;
   engine_options.collect_fraction = options.collect_fraction;
   engine_options.participation_fraction = options.participation_fraction;
+  engine_options.upload_timeout = options.upload_timeout;
   setup.engine = std::make_unique<RoundEngine>(setup.model.get(), setup.cluster.get(),
                                                setup.shards, &scheme, engine_options,
                                                loader_rng);
@@ -93,8 +96,13 @@ RoundSummary summarize(const RoundRecord& record) {
   summary.start_time = record.start_time;
   summary.end_time = record.end_time;
   summary.deadline = record.deadline;
-  std::unordered_set<std::size_t> collected(record.collected.begin(),
-                                            record.collected.end());
+  std::unordered_map<std::size_t, double> collected;
+  for (std::size_t k = 0; k < record.collected.size(); ++k) {
+    collected.emplace(record.collected[k],
+                      k < record.collected_weights.size()
+                          ? record.collected_weights[k]
+                          : 0.0);
+  }
   summary.clients.reserve(record.clients.size());
   for (std::size_t i = 0; i < record.clients.size(); ++i) {
     const ClientRoundResult& r = record.clients[i];
@@ -106,7 +114,10 @@ RoundSummary summarize(const RoundRecord& record) {
     c.arrival_time = r.arrival_time;
     c.compute_seconds = r.compute_seconds;
     c.bytes_sent = r.bytes_sent;
-    c.collected = collected.count(i) > 0;
+    c.failed = r.failed;
+    const auto it = collected.find(i);
+    c.collected = it != collected.end();
+    c.collected_weight = c.collected ? it->second : 0.0;
     c.eager.reserve(r.eager.size());
     for (const EagerRecord& e : r.eager) {
       c.eager.push_back({e.layer, e.iteration, e.retransmitted});

@@ -37,6 +37,11 @@ struct ExperimentOptions {
   // Fraction of clients selected each round (1.0 = full participation,
   // the paper's setting; < 1 enables Oort-style partial participation).
   double participation_fraction = 1.0;
+  // Round-relative upload cut-off (see RoundEngineOptions::upload_timeout).
+  double upload_timeout = kNoDeadline;
+  // Fault injection (disabled by default: `faults.enabled == false` keeps
+  // the run bit-identical to a build without the fault layer).
+  sim::FaultScheduleOptions faults;
   std::size_t max_rounds = 150;
   // Stop as soon as the smoothed accuracy reaches this value; <= 0 runs to
   // max_rounds.
@@ -64,6 +69,10 @@ struct ClientRoundSummary {
   double compute_seconds = 0.0;
   double bytes_sent = 0.0;
   bool collected = false;
+  // Normalized aggregation weight when collected (0 otherwise); the
+  // collected weights of a round sum to 1.
+  double collected_weight = 0.0;
+  bool failed = false;  // fault injection: client delivered nothing
   struct EagerSummary {
     std::size_t layer = 0;
     std::size_t iteration = 0;
@@ -112,6 +121,8 @@ struct ExperimentSetup {
   std::vector<data::Dataset> shards;
   data::Dataset test_set;
   std::unique_ptr<RoundEngine> engine;  // wired to `scheme`
+  // Non-null iff options.faults.enabled; also installed on `cluster`.
+  std::shared_ptr<const sim::FaultInjector> faults;
 };
 
 ExperimentSetup make_setup(const ExperimentOptions& options, Scheme& scheme);

@@ -45,6 +45,9 @@ void FedAdaScheme::observe_round(const RoundRecord& record) {
   std::vector<double> durations;
   durations.reserve(record.clients.size());
   for (const ClientRoundResult& r : record.clients) {
+    // Failed clients (fault injection) never delivered: their infinite
+    // arrival would poison the deadline estimate and the speed EWMA.
+    if (r.failed || !std::isfinite(r.arrival_time)) continue;
     durations.push_back(r.arrival_time - record.start_time);
     if (r.iterations_run > 0) {
       const double per_iter = r.compute_seconds / static_cast<double>(r.iterations_run);

@@ -93,6 +93,35 @@ RoundRecord RoundEngine::run_round() {
     participants = selection_rng_.sample_without_replacement(cluster_->size(), quota);
   }
 
+  // Permanently crashed clients leave the population: they are not asked
+  // to participate, so schemes never see them and the deadline estimator's
+  // duration samples stay finite.
+  const sim::FaultInjector* faults = cluster_->faults().get();
+  if (faults != nullptr) {
+    if (crash_reported_.size() < cluster_->size()) {
+      crash_reported_.resize(cluster_->size(), 0);
+    }
+    std::vector<std::size_t> alive;
+    alive.reserve(participants.size());
+    for (const std::size_t c : participants) {
+      if (!faults->crashed_at(c, clock_)) {
+        alive.push_back(c);
+        continue;
+      }
+      if (!crash_reported_[c]) {
+        crash_reported_[c] = 1;
+        FEDCA_MCOUNT("faults.crashes", 1.0);
+        obs::TraceCollector& tracer = obs::TraceCollector::global();
+        if (tracer.enabled()) {
+          tracer.record_instant(client_pid(c), "fault.crash", clock_,
+                                {{"client", std::to_string(c)},
+                                 {"round", std::to_string(round_index_)}});
+        }
+      }
+    }
+    participants = std::move(alive);
+  }
+
   record.clients.reserve(participants.size());
   for (const std::size_t c : participants) {
     RoundInfo info;
@@ -104,24 +133,92 @@ RoundRecord RoundEngine::run_round() {
     record.clients.push_back(run_client(c, info));
   }
 
+  // Survivor filtering: failed clients and non-finite arrivals never make
+  // the candidate list; a finite upload_timeout additionally drops late
+  // arrivals. In the fault-free default (no injector, no timeout) every
+  // participant is a candidate and the selection below reduces exactly to
+  // the original collect_fraction rule.
+  obs::TraceCollector& tracer = obs::TraceCollector::global();
+  const double timeout_cut = options_.upload_timeout == kNoDeadline
+                                 ? kNoDeadline
+                                 : record.start_time + options_.upload_timeout;
+  std::vector<std::size_t> candidates;
+  candidates.reserve(record.clients.size());
+  for (std::size_t i = 0; i < record.clients.size(); ++i) {
+    const ClientRoundResult& r = record.clients[i];
+    if (r.failed || !std::isfinite(r.arrival_time)) continue;
+    if (r.arrival_time > timeout_cut) {
+      FEDCA_MCOUNT("engine.upload_timeouts", 1.0);
+      if (tracer.enabled()) {
+        tracer.record_instant(client_pid(r.client_id), "recovery.timeout_exclude",
+                              timeout_cut,
+                              {{"client", std::to_string(r.client_id)},
+                               {"round", std::to_string(record.round_index)},
+                               {"arrival", fmt_num(r.arrival_time)}});
+      }
+      continue;
+    }
+    candidates.push_back(i);
+  }
+
   double quorum_time = clock_;
   {
     // The server's real aggregation work happens here; the virtual clock
     // charges it nothing (the paper's server is never the bottleneck), so
     // it shows up as a wall-clock span plus a virtual instant.
     FEDCA_WALL_SPAN("server.aggregate");
-    record.collected = select_earliest(record.clients, options_.collect_fraction);
-    apply_aggregated_update(global_, record.clients, record.collected);
-    for (const std::size_t idx : record.collected) {
-      quorum_time = std::max(quorum_time, record.clients[idx].arrival_time);
+    record.collected = select_earliest(record.clients, candidates,
+                                       record.clients.size(),
+                                       options_.collect_fraction);
+    if (!record.collected.empty()) {
+      record.collected_weights =
+          apply_aggregated_update(global_, record.clients, record.collected);
+      for (const std::size_t idx : record.collected) {
+        quorum_time = std::max(quorum_time, record.clients[idx].arrival_time);
+      }
     }
   }
-  const double end_time = quorum_time;
+  double end_time = quorum_time;
+  if (record.collected.empty()) {
+    // Every participant failed (or timed out): the global model stands and
+    // the round ends at a finite fallback time so the clock stays sane.
+    double fallback = record.start_time;
+    for (const ClientRoundResult& r : record.clients) {
+      for (const double t :
+           {r.arrival_time, r.compute_done, r.download_done, r.fail_time}) {
+        if (std::isfinite(t)) fallback = std::max(fallback, t);
+      }
+    }
+    end_time = timeout_cut != kNoDeadline ? std::min(timeout_cut, fallback)
+                                          : fallback;
+    end_time = std::max(end_time, record.start_time);
+    FEDCA_MCOUNT("engine.rounds_empty", 1.0);
+    if (tracer.enabled()) {
+      tracer.record_instant(server_pid(), "recovery.empty_round", end_time,
+                            {{"round", std::to_string(record.round_index)},
+                             {"participants",
+                              std::to_string(record.clients.size())}});
+    }
+  } else if (faults != nullptr || timeout_cut != kNoDeadline) {
+    const auto planned_quota = static_cast<std::size_t>(
+        std::ceil(std::clamp(options_.collect_fraction, 1e-9, 1.0) *
+                  static_cast<double>(record.clients.size())));
+    if (record.collected.size() < std::max<std::size_t>(1, planned_quota)) {
+      FEDCA_MCOUNT("engine.partial_rounds", 1.0);
+      if (tracer.enabled()) {
+        tracer.record_instant(server_pid(), "recovery.partial_aggregation",
+                              end_time,
+                              {{"round", std::to_string(record.round_index)},
+                               {"collected",
+                                std::to_string(record.collected.size())},
+                               {"planned", std::to_string(planned_quota)}});
+      }
+    }
+  }
   record.end_time = end_time;
   clock_ = end_time;
   ++round_index_;
 
-  obs::TraceCollector& tracer = obs::TraceCollector::global();
   if (tracer.enabled()) {
     tracer.record_span(server_pid(), "round", record.start_time, record.end_time,
                        {{"round", std::to_string(record.round_index)},
@@ -161,11 +258,75 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
   const bool tracing = tracer.enabled();
   const std::uint32_t pid = client_pid(client_id);
 
+  // Fault horizon for this round: the first virtual time >= round start at
+  // which the client goes offline (crash or dropout window). Everything the
+  // client does past that point is lost.
+  const sim::FaultInjector* faults = cluster_->faults().get();
+  double fail_time = kNoDeadline;
+  ClientFault fail_kind = ClientFault::kNone;
+  if (faults != nullptr) {
+    const double off = faults->next_offline(client_id, info.start_time);
+    if (std::isfinite(off)) {
+      fail_time = off;
+      fail_kind = faults->offline_kind(client_id, off) == sim::FaultKind::kCrash
+                      ? ClientFault::kCrash
+                      : ClientFault::kDropout;
+    }
+  }
+  const auto fail = [&](double at, ClientFault kind) {
+    result.failed = true;
+    result.fault = kind;
+    result.fail_time = at;
+    result.arrival_time = kNoDeadline;
+    const char* name = kind == ClientFault::kCrash       ? "fault.crash"
+                       : kind == ClientFault::kLinkOutage ? "fault.link_outage"
+                                                          : "fault.dropout";
+    if (kind == ClientFault::kCrash) {
+      // A crash is a one-time event per client: the mid-round failure here
+      // and the next round's participant exclusion must not both count it.
+      if (client_id < crash_reported_.size() && crash_reported_[client_id]) {
+        return;
+      }
+      if (client_id < crash_reported_.size()) crash_reported_[client_id] = 1;
+      FEDCA_MCOUNT("faults.crashes", 1.0);
+    } else if (kind == ClientFault::kLinkOutage) {
+      FEDCA_MCOUNT("faults.link_outages", 1.0);
+    } else {
+      FEDCA_MCOUNT("faults.dropouts", 1.0);
+    }
+    if (tracing && std::isfinite(at)) {
+      tracer.record_instant(pid, name, at,
+                            {{"client", std::to_string(client_id)},
+                             {"round", std::to_string(info.round_index)}});
+    }
+  };
+
+  // Offline at round start (mid-dropout window): the client misses the
+  // round entirely — no transfers, no policy interaction.
+  if (fail_time <= info.start_time) {
+    result.download_done = info.start_time;
+    result.compute_done = info.start_time;
+    fail(info.start_time, fail_kind);
+    return result;
+  }
+
   // 1. Download the global model.
   const double model_bytes =
       static_cast<double>(global_.numel()) * bytes_per_param + options_.upload_header_bytes;
   const sim::Transfer download = device.downlink().transmit(info.start_time, model_bytes);
   result.download_done = download.end;
+  if (!std::isfinite(download.end)) {
+    // The downlink is in a permanent outage: the model never arrives.
+    result.compute_done = info.start_time;
+    fail(info.start_time, ClientFault::kLinkOutage);
+    return result;
+  }
+  if (download.end > fail_time) {
+    // Client went offline while the model was still in flight.
+    result.compute_done = fail_time;
+    fail(fail_time, fail_kind);
+    return result;
+  }
   if (tracing) {
     tracer.record_span(pid, "download", info.start_time, download.end,
                        {{"bytes", fmt_num(model_bytes)},
@@ -191,6 +352,7 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
 
   const std::vector<nn::Parameter*> params = model_->parameters();
 
+  bool interrupted = false;
   for (std::size_t tau = 1; tau <= info.planned_iterations; ++tau) {
     const double iter_start = t;
     {
@@ -200,6 +362,13 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
       optimizer.step();
     }
     t = device.compute_finish(t, iteration_work);
+    if (t > fail_time) {
+      // The iteration in progress when the client went offline never
+      // completes; its work (and everything before it) is lost.
+      interrupted = true;
+      t = fail_time;
+      break;
+    }
     iterations = tau;
     if (tracing) {
       tracer.record_span(pid, "iter", iter_start, t,
@@ -233,6 +402,32 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
       eager.arrival_time = transfer.end;
       result.bytes_sent += layer_bytes;
       FEDCA_MCOUNT("engine.eager_transmissions", 1.0);
+      if (faults != nullptr) {
+        // Seeded in-flight loss/corruption of the eager payload. Either
+        // way the server discards it (corruption is caught by checksum),
+        // and the layer is force-retransmitted with the final upload.
+        const sim::EagerFault ef =
+            faults->eager_fault(client_id, info.round_index, layer);
+        if (ef == sim::EagerFault::kLost) {
+          eager.lost = true;
+          FEDCA_MCOUNT("faults.eager_lost", 1.0);
+          if (tracing && std::isfinite(transfer.end)) {
+            tracer.record_instant(pid, "fault.eager_lost", transfer.end,
+                                  {{"client", std::to_string(client_id)},
+                                   {"layer", std::to_string(layer)},
+                                   {"round", std::to_string(info.round_index)}});
+          }
+        } else if (ef == sim::EagerFault::kTruncated) {
+          eager.truncated = true;
+          FEDCA_MCOUNT("faults.eager_truncated", 1.0);
+          if (tracing && std::isfinite(transfer.end)) {
+            tracer.record_instant(pid, "fault.eager_truncated", transfer.end,
+                                  {{"client", std::to_string(client_id)},
+                                   {"layer", std::to_string(layer)},
+                                   {"round", std::to_string(info.round_index)}});
+          }
+        }
+      }
       result.eager.push_back(std::move(eager));
     }
 
@@ -270,11 +465,33 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
   }
   result.mean_local_loss = iterations > 0 ? loss_sum / static_cast<double>(iterations) : 0.0;
 
+  if (interrupted) {
+    // Training was cut short by a dropout/crash: nothing is uploaded and
+    // the server never hears from this client this round.
+    fail(fail_time, fail_kind);
+    policy.on_round_end(info);
+    return result;
+  }
+
   // 3. Final update, retransmission selection, and upload.
   nn::ModelState final_update = nn::state_sub(model_->state(), global_);
   const std::vector<std::size_t> retrans =
       policy.select_retransmissions(final_update, result.eager);
   std::unordered_set<std::size_t> retrans_set(retrans.begin(), retrans.end());
+  // Recovery: an eager payload lost or corrupted in flight must ride the
+  // final upload no matter what the Eq. 6 error-feedback check decided —
+  // the server has nothing usable for that layer.
+  for (const EagerRecord& eager : result.eager) {
+    if ((eager.lost || eager.truncated) && retrans_set.insert(eager.layer).second) {
+      FEDCA_MCOUNT("engine.fault_retransmissions", 1.0);
+      if (tracing) {
+        tracer.record_instant(pid, "recovery.eager_retransmit", t,
+                              {{"client", std::to_string(client_id)},
+                               {"layer", std::to_string(eager.layer)},
+                               {"round", std::to_string(info.round_index)}});
+      }
+    }
+  }
   for (EagerRecord& eager : result.eager) {
     if (retrans_set.count(eager.layer) > 0) {
       eager.retransmitted = true;
@@ -304,17 +521,32 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
     // Eager uploads are recorded here (not at trigger time) so the span
     // carries the Eq. 6 retransmission verdict.
     for (const EagerRecord& eager : result.eager) {
+      if (!std::isfinite(eager.arrival_time)) continue;
       tracer.record_span(pid, "upload.eager", eager.send_time, eager.arrival_time,
                          {{"layer", std::to_string(eager.layer)},
                           {"iteration", std::to_string(eager.iteration)},
                           {"retransmitted", eager.retransmitted ? "1" : "0"},
                           {"round", std::to_string(info.round_index)}});
     }
-    tracer.record_span(pid, "upload.final", upload.start, upload.end,
-                       {{"bytes", fmt_num(final_bytes)},
-                        {"retransmitted_layers",
-                         std::to_string(result.retransmitted_layers)},
-                        {"round", std::to_string(info.round_index)}});
+    if (std::isfinite(upload.end)) {
+      tracer.record_span(pid, "upload.final", upload.start, upload.end,
+                         {{"bytes", fmt_num(final_bytes)},
+                          {"retransmitted_layers",
+                           std::to_string(result.retransmitted_layers)},
+                          {"round", std::to_string(info.round_index)}});
+    }
+  }
+  if (!std::isfinite(upload.end)) {
+    // Permanent uplink outage: the update never reaches the server.
+    fail(t, ClientFault::kLinkOutage);
+    policy.on_round_end(info);
+    return result;
+  }
+  if (upload.end > fail_time) {
+    // The client went offline with the final upload still in flight.
+    fail(fail_time, fail_kind);
+    policy.on_round_end(info);
+    return result;
   }
   FEDCA_MCOUNT("engine.client_rounds", 1.0);
   FEDCA_MCOUNT("engine.bytes_sent", result.bytes_sent);

@@ -49,6 +49,11 @@ struct RoundEngineOptions {
   // the paper's setting). Selection is uniform without replacement from
   // the engine's RNG stream.
   double participation_fraction = 1.0;
+  // Round-relative cut-off for uploads: arrivals later than
+  // round_start + upload_timeout are excluded from aggregation (the
+  // survivors are re-weighted to sum to 1). kNoDeadline disables the
+  // cut-off; the default keeps the fault-free behavior bit-identical.
+  double upload_timeout = kNoDeadline;
 };
 
 class RoundEngine {
@@ -95,6 +100,9 @@ class RoundEngine {
   std::size_t round_index_ = 0;
   std::uint32_t trace_pid_base_ = 0;
   bool trace_registered_ = false;
+  // Per-client flag so a permanent crash is announced (instant + counter)
+  // exactly once, the first round it takes effect.
+  std::vector<char> crash_reported_;
 };
 
 }  // namespace fedca::fl

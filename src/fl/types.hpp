@@ -13,6 +13,10 @@ namespace fedca::fl {
 
 inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
 
+// How a participant left a round early (fault injection; kNone in the
+// fault-free simulation).
+enum class ClientFault { kNone, kCrash, kDropout, kLinkOutage };
+
 // One eagerly transmitted layer (Sec. 4.3): which layer, when it was sent
 // (iteration + virtual arrival time at the server), and the update value
 // that went on the wire.
@@ -23,6 +27,8 @@ struct EagerRecord {
   double arrival_time = 0.0;      // virtual time it fully arrived
   tensor::Tensor value;           // transmitted per-layer update (w_tau - w_0)
   bool retransmitted = false;     // set after the Eq. 6 check
+  bool lost = false;              // eager transfer lost in flight (fault)
+  bool truncated = false;         // eager transfer corrupted in flight (fault)
 };
 
 // What one client contributed to one round, with full system accounting.
@@ -47,6 +53,11 @@ struct ClientRoundResult {
   double mean_local_loss = 0.0;
   std::vector<EagerRecord> eager;  // one entry per eagerly transmitted layer
   std::size_t retransmitted_layers = 0;
+
+  // --- fault accounting (all default when no injector is installed) ---
+  bool failed = false;             // client never delivered a usable update
+  ClientFault fault = ClientFault::kNone;
+  double fail_time = kNoDeadline;  // virtual time the fault struck
 };
 
 // Everything that happened in one round.
@@ -57,6 +68,9 @@ struct RoundRecord {
   double deadline = kNoDeadline;   // T_R announced at round start
   std::vector<ClientRoundResult> clients;   // every participant
   std::vector<std::size_t> collected;       // indices into `clients` aggregated
+  // Normalized aggregation weight per collected entry (sums to 1 whenever
+  // `collected` is non-empty); parallel to `collected`.
+  std::vector<double> collected_weights;
   double duration() const { return end_time - start_time; }
 };
 

@@ -1,5 +1,9 @@
 #include "sim/cluster.hpp"
 
+#include <cmath>
+
+#include "obs/metrics.hpp"
+
 namespace fedca::sim {
 
 ClientDevice::ClientDevice(std::size_t id, const trace::DeviceProfile& profile,
@@ -11,6 +15,25 @@ ClientDevice::ClientDevice(std::size_t id, const trace::DeviceProfile& profile,
       uplink_(profile.bandwidth_mbps, link_latency),
       downlink_(profile.bandwidth_mbps, link_latency) {}
 
+double ClientDevice::compute_finish(double start, double work) {
+  // A non-finite start (e.g. a download stuck in a permanent link outage)
+  // never finishes; the timeline cannot extend to infinity.
+  if (!std::isfinite(start)) return start;
+  if (faults_ != nullptr && faults_->has_slowdowns(id_)) {
+    return faults_->compute_finish(id_, timeline_, start, work);
+  }
+  return timeline_.finish_time(start, work);
+}
+
+void ClientDevice::set_faults(std::shared_ptr<const FaultInjector> faults) {
+  faults_ = std::move(faults);
+  if (faults_ == nullptr) return;
+  for (const FaultWindow& w : faults_->link_windows(id_)) {
+    uplink_.add_degradation(w.start, w.end, w.factor);
+    downlink_.add_degradation(w.start, w.end, w.factor);
+  }
+}
+
 Cluster::Cluster(const ClusterOptions& options, util::Rng& rng) : options_(options) {
   const std::vector<trace::DeviceProfile> profiles =
       trace::synthesize_profiles(options.num_clients, options.heterogeneity, rng);
@@ -19,6 +42,15 @@ Cluster::Cluster(const ClusterOptions& options, util::Rng& rng) : options_(optio
     clients_.push_back(std::make_unique<ClientDevice>(
         i, profiles[i], options.dynamicity, options.link_latency_seconds,
         rng.fork(0x5EED0000 + i)));
+  }
+}
+
+void Cluster::install_faults(std::shared_ptr<const FaultInjector> faults) {
+  faults_ = std::move(faults);
+  for (auto& client : clients_) client->set_faults(faults_);
+  if (faults_ != nullptr) {
+    FEDCA_MCOUNT("faults.scheduled_events",
+                 static_cast<double>(faults_->schedule().events().size()));
   }
 }
 

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/faults.hpp"
 #include "sim/network.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
@@ -38,8 +39,13 @@ class ClientDevice {
   Link& downlink() { return downlink_; }
 
   // Virtual completion time of `work` unit-speed seconds of compute
-  // starting at `start` (dynamicity-aware).
-  double compute_finish(double start, double work) { return timeline_.finish_time(start, work); }
+  // starting at `start` (dynamicity-aware; slowdown faults composed in
+  // when an injector with slowdowns for this client is installed).
+  double compute_finish(double start, double work);
+
+  // Routes compute through the injector's slowdown windows and installs
+  // the client's link-degradation windows on both link directions.
+  void set_faults(std::shared_ptr<const FaultInjector> faults);
 
  private:
   std::size_t id_;
@@ -47,6 +53,7 @@ class ClientDevice {
   trace::SpeedTimeline timeline_;
   Link uplink_;
   Link downlink_;
+  std::shared_ptr<const FaultInjector> faults_;
 };
 
 class Cluster {
@@ -57,9 +64,15 @@ class Cluster {
   ClientDevice& client(std::size_t i) { return *clients_.at(i); }
   const ClusterOptions& options() const { return options_; }
 
+  // Installs a fault injector across all devices (slowdown routing + link
+  // degradation windows). Pass nullptr to run fault-free (the default).
+  void install_faults(std::shared_ptr<const FaultInjector> faults);
+  const std::shared_ptr<const FaultInjector>& faults() const { return faults_; }
+
  private:
   ClusterOptions options_;
   std::vector<std::unique_ptr<ClientDevice>> clients_;
+  std::shared_ptr<const FaultInjector> faults_;
 };
 
 }  // namespace fedca::sim

@@ -1,6 +1,8 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace fedca::sim {
@@ -16,19 +18,71 @@ double Link::transfer_seconds(double bytes) const {
   return latency_seconds_ + bytes * 8.0 / (bandwidth_mbps_ * 1e6);
 }
 
+void Link::add_degradation(double start, double end, double factor) {
+  if (!(end > start)) return;
+  if (factor < 0.0 || factor >= 1.0) {
+    throw std::invalid_argument("Link::add_degradation: factor must be in [0, 1)");
+  }
+  windows_.push_back({start, end, factor});
+  std::sort(windows_.begin(), windows_.end(),
+            [](const Window& a, const Window& b) { return a.start < b.start; });
+}
+
+double Link::factor_at(double t) const {
+  double factor = 1.0;
+  for (const Window& w : windows_) {
+    if (w.start > t) break;
+    if (t >= w.start && t < w.end) factor = std::min(factor, w.factor);
+  }
+  return factor;
+}
+
+double Link::finish_from(double begin, double bytes) const {
+  if (windows_.empty()) return begin + transfer_seconds(bytes);
+  // Latency is a pure time offset; the payload then drains at the
+  // window-modulated rate, integrated piecewise across boundaries.
+  double t = begin + latency_seconds_;
+  double bits = bytes * 8.0;
+  const double nominal = bandwidth_mbps_ * 1e6;
+  while (bits > 0.0) {
+    const double factor = factor_at(t);
+    double boundary = std::numeric_limits<double>::infinity();
+    for (const Window& w : windows_) {
+      if (w.start > t) {
+        boundary = std::min(boundary, w.start);
+        break;
+      }
+      if (w.end > t) boundary = std::min(boundary, w.end);
+    }
+    const double rate = nominal * factor;
+    if (rate <= 0.0) {
+      if (!std::isfinite(boundary)) {
+        return std::numeric_limits<double>::infinity();  // permanent outage
+      }
+      t = boundary;
+      continue;
+    }
+    const double full = t + bits / rate;
+    if (full <= boundary) return full;
+    bits -= (boundary - t) * rate;
+    t = boundary;
+  }
+  return t;
+}
+
 Transfer Link::transmit(double earliest_start, double bytes) {
   if (earliest_start < 0.0) {
     throw std::invalid_argument("Link::transmit: negative start time");
   }
   Transfer t;
   t.start = std::max(earliest_start, busy_until_);
-  t.end = t.start + transfer_seconds(bytes);
+  t.end = finish_from(t.start, bytes);
   busy_until_ = t.end;
   return t;
 }
 
 double Link::peek_finish(double earliest_start, double bytes) const {
-  return std::max(earliest_start, busy_until_) + transfer_seconds(bytes);
+  return finish_from(std::max(earliest_start, busy_until_), bytes);
 }
 
 }  // namespace fedca::sim

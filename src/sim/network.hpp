@@ -34,12 +34,21 @@ class Link {
   double bandwidth_mbps() const { return bandwidth_mbps_; }
   double busy_until() const { return busy_until_; }
 
-  // Pure function: seconds needed to move `bytes` once started.
+  // Pure function: seconds needed to move `bytes` once started, at nominal
+  // bandwidth (degradation windows are applied by transmit/peek_finish).
   double transfer_seconds(double bytes) const;
+
+  // Fault injection: during [start, end) the effective bandwidth is
+  // nominal * factor (factor 0 = outage; overlapping windows combine by
+  // taking the minimum factor). With no windows installed the transfer
+  // arithmetic is byte-for-byte the original closed form.
+  void add_degradation(double start, double end, double factor);
+  bool degraded() const { return !windows_.empty(); }
 
   // Schedules a transfer that becomes ready at `earliest_start`; it begins
   // when both the payload is ready and the link is free, and occupies the
-  // link until it ends. Returns the realized interval.
+  // link until it ends. Returns the realized interval. A transfer caught
+  // in a permanent outage ends (and leaves the link busy) at +infinity.
   Transfer transmit(double earliest_start, double bytes);
 
   // Earliest time a transfer ready at `earliest_start` would *finish*
@@ -47,9 +56,21 @@ class Link {
   double peek_finish(double earliest_start, double bytes) const;
 
  private:
+  struct Window {
+    double start;
+    double end;
+    double factor;
+  };
+
+  // Bandwidth factor in effect at time t (min over covering windows).
+  double factor_at(double t) const;
+  // Finish time of `bytes` begun at `begin`, draining through windows.
+  double finish_from(double begin, double bytes) const;
+
   double bandwidth_mbps_;
   double latency_seconds_;
   double busy_until_ = 0.0;
+  std::vector<Window> windows_;  // sorted by start
 };
 
 }  // namespace fedca::sim

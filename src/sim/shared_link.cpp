@@ -1,6 +1,7 @@
 #include "sim/shared_link.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
@@ -29,6 +30,38 @@ SharedLink::SharedLink(double capacity_mbps, double per_flow_mbps,
 
 bool SharedLink::is_transparent_for(std::size_t flows) const {
   return per_flow_mbps_ * static_cast<double>(flows) <= capacity_mbps_ + kEps;
+}
+
+void SharedLink::add_capacity_window(double start, double end, double factor) {
+  if (!(end > start)) return;
+  if (factor < 0.0 || factor >= 1.0) {
+    throw std::invalid_argument(
+        "SharedLink::add_capacity_window: factor must be in [0, 1)");
+  }
+  windows_.push_back({start, end, factor});
+  std::sort(windows_.begin(), windows_.end(),
+            [](const Window& a, const Window& b) { return a.start < b.start; });
+}
+
+double SharedLink::capacity_factor_at(double t) const {
+  double factor = 1.0;
+  for (const Window& w : windows_) {
+    if (w.start > t) break;
+    if (t >= w.start && t < w.end) factor = std::min(factor, w.factor);
+  }
+  return factor;
+}
+
+double SharedLink::next_boundary_after(double t) const {
+  double next = std::numeric_limits<double>::infinity();
+  for (const Window& w : windows_) {
+    if (w.start > t) {
+      next = std::min(next, w.start);
+      break;
+    }
+    if (w.end > t) next = std::min(next, w.end);
+  }
+  return next;
 }
 
 std::vector<Transfer> SharedLink::schedule(
@@ -84,19 +117,40 @@ std::vector<Transfer> SharedLink::schedule(
       now = flows[by_arrival[next_arrival]].start;
       continue;
     }
-    // Current fair rate per active flow.
+    // Current fair rate per active flow (capacity may be degraded by an
+    // installed fault window; with no windows the factor is exactly 1).
+    const double capacity =
+        windows_.empty() ? capacity_mbps_ : capacity_mbps_ * capacity_factor_at(now);
     const double rate_bits =
-        std::min(per_flow_mbps_, capacity_mbps_ / static_cast<double>(active_count)) *
+        std::min(per_flow_mbps_, capacity / static_cast<double>(active_count)) *
         kBitsPerMb;
-    // Next event: earliest completion under this rate, or next arrival.
+    // Next event: earliest completion under this rate, next arrival, or
+    // the next capacity-window boundary (where the rate changes).
     double next_event = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < n; ++i) {
-      if (flows[i].active) {
-        next_event = std::min(next_event, now + flows[i].remaining / rate_bits);
+    if (rate_bits > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (flows[i].active) {
+          next_event = std::min(next_event, now + flows[i].remaining / rate_bits);
+        }
       }
     }
     if (next_arrival < n) {
       next_event = std::min(next_event, flows[by_arrival[next_arrival]].start);
+    }
+    if (!windows_.empty()) {
+      next_event = std::min(next_event, next_boundary_after(now));
+    }
+    if (!std::isfinite(next_event)) {
+      // Permanent ingress outage: nothing can ever complete.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!flows[i].active) continue;
+        flows[i].active = false;
+        flows[i].done = true;
+        --active_count;
+        ++done_count;
+        result[i].end = std::numeric_limits<double>::infinity();
+      }
+      continue;
     }
     // Drain until the event.
     const double drained = (next_event - now) * rate_bits;

@@ -35,8 +35,17 @@ class SharedLink {
   double capacity_mbps() const { return capacity_mbps_; }
   double per_flow_mbps() const { return per_flow_mbps_; }
 
+  // Fault injection: during [start, end) the aggregate capacity is
+  // nominal * factor (factor 0 = ingress outage; overlapping windows
+  // combine by minimum factor). Window boundaries become events in the
+  // fluid solver; with no windows the schedule is byte-for-byte the
+  // original solution.
+  void add_capacity_window(double start, double end, double factor);
+  bool degraded() const { return !windows_.empty(); }
+
   // Exact processor-sharing schedule for the batch; the i-th Transfer
-  // corresponds to requests[i]. Requests need not be sorted.
+  // corresponds to requests[i]. Requests need not be sorted. Flows still
+  // unfinished when the capacity drops to zero forever end at +infinity.
   std::vector<Transfer> schedule(const std::vector<FlowRequest>& requests) const;
 
   // True iff, for `flows` simultaneous transfers, the shared capacity
@@ -45,9 +54,20 @@ class SharedLink {
   bool is_transparent_for(std::size_t flows) const;
 
  private:
+  struct Window {
+    double start;
+    double end;
+    double factor;
+  };
+
+  // Capacity factor in effect at t, and the next window boundary after t.
+  double capacity_factor_at(double t) const;
+  double next_boundary_after(double t) const;
+
   double capacity_mbps_;
   double per_flow_mbps_;
   double latency_seconds_;
+  std::vector<Window> windows_;  // sorted by start
 };
 
 }  // namespace fedca::sim

@@ -118,6 +118,50 @@ TEST(TopK, Validation) {
   EXPECT_THROW(fl::TopKSparsifier(1.5), std::invalid_argument);
 }
 
+// Degenerate tensor shapes must round-trip unchanged and bill a sane
+// number of wire bytes (an empty layer carries no payload at all).
+TEST(CompressionEdgeCases, EmptyTensorCostsNothing) {
+  tensor::Tensor empty({0});
+  fl::IdentityCompressor identity;
+  EXPECT_DOUBLE_EQ(identity.compress(empty, 4.0), 0.0);
+  fl::QsgdQuantizer qsgd(8, util::Rng(1));
+  EXPECT_DOUBLE_EQ(qsgd.compress(empty, 4.0), 0.0);
+  fl::TopKSparsifier topk(0.1);
+  EXPECT_DOUBLE_EQ(topk.compress(empty, 4.0), 0.0);
+  EXPECT_EQ(empty.numel(), 0u);
+}
+
+TEST(CompressionEdgeCases, SingleElementRoundTrips) {
+  for (const float v : {-1.5f, 0.0f, 2.25f}) {
+    tensor::Tensor t({1});
+    t[0] = v;
+    fl::TopKSparsifier topk(0.5);  // k = max(1, 0) keeps the lone entry
+    EXPECT_DOUBLE_EQ(topk.compress(t, 4.0), 8.0);
+    EXPECT_EQ(t[0], v);
+
+    tensor::Tensor q({1});
+    q[0] = v;
+    fl::QsgdQuantizer qsgd(4, util::Rng(2));
+    const double bytes = qsgd.compress(q, 4.0);
+    EXPECT_GT(bytes, 0.0);
+    // A single element sits exactly at the norm: quantization is exact.
+    EXPECT_FLOAT_EQ(q[0], v);
+  }
+}
+
+TEST(CompressionEdgeCases, AllZeroTensorStaysZero) {
+  tensor::Tensor t({16}, 0.0f);
+  fl::QsgdQuantizer qsgd(8, util::Rng(3));
+  qsgd.compress(t, 4.0);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+
+  tensor::Tensor s({16}, 0.0f);
+  fl::TopKSparsifier topk(0.25);
+  const double bytes = topk.compress(s, 4.0);
+  EXPECT_DOUBLE_EQ(bytes, 4.0 * 4.0 * 2.0);  // k = 4 entries billed
+  for (std::size_t i = 0; i < s.numel(); ++i) EXPECT_EQ(s[i], 0.0f);
+}
+
 TEST(MakeCompressor, DispatchesAndValidates) {
   EXPECT_EQ(fl::make_compressor("none", 8, 0.1, util::Rng(1))->name(), "identity");
   EXPECT_EQ(fl::make_compressor("qsgd", 8, 0.1, util::Rng(1))->name(), "qsgd8");

@@ -141,5 +141,37 @@ TEST(Experiment, BehaviourExtractionMatchesSummaries) {
   EXPECT_GE(eff_sum, raw_sum);
 }
 
+// Two full runs from the same seed must agree bit-for-bit: final accuracy,
+// every round's virtual start/end, and every client's arrival. This is the
+// reproducibility contract all bench figures rely on.
+TEST(Experiment, SameSeedRunsAreBitIdentical) {
+  auto run = [] {
+    fl::FedAvgScheme scheme;
+    return fl::run_experiment(tiny(), scheme);
+  };
+  const fl::ExperimentResult a = run();
+  const fl::ExperimentResult b = run();
+
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_EQ(a.total_time, b.total_time);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    EXPECT_EQ(a.rounds[r].start_time, b.rounds[r].start_time);
+    EXPECT_EQ(a.rounds[r].end_time, b.rounds[r].end_time);
+    ASSERT_EQ(a.rounds[r].clients.size(), b.rounds[r].clients.size());
+    for (std::size_t i = 0; i < a.rounds[r].clients.size(); ++i) {
+      EXPECT_EQ(a.rounds[r].clients[i].arrival_time,
+                b.rounds[r].clients[i].arrival_time);
+      EXPECT_EQ(a.rounds[r].clients[i].iterations_run,
+                b.rounds[r].clients[i].iterations_run);
+    }
+  }
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_EQ(a.curve[i].accuracy, b.curve[i].accuracy);
+    EXPECT_EQ(a.curve[i].virtual_time, b.curve[i].virtual_time);
+  }
+}
+
 }  // namespace
 }  // namespace fedca

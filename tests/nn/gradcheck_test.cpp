@@ -107,10 +107,76 @@ TEST(GradCheck, BatchNormEval) {
   expect_gradients_match(layer, random_input({3, 2, 3, 3}, 24));
 }
 
+// Single-sample training batch: the per-channel statistics reduce over
+// the spatial plane only (count == H*W), a path the batched test misses.
+TEST(GradCheck, BatchNormSingleSampleTraining) {
+  nn::BatchNorm2d layer("bn", 2, 3, 4);
+  layer.set_training(true);
+  expect_gradients_match(layer, random_input({1, 2, 3, 4}, 41), 1e-3, 4e-2);
+}
+
+// Non-default momentum/eps on a rectangular plane, with eval statistics
+// blended from two warm-up passes (running-stat update path).
+TEST(GradCheck, BatchNormCustomMomentumEpsEval) {
+  nn::BatchNorm2d layer("bn", 3, 4, 2, /*momentum=*/0.3, /*eps=*/1e-3);
+  layer.set_training(true);
+  layer.forward(random_input({4, 3, 4, 2}, 42));
+  layer.forward(random_input({4, 3, 4, 2}, 43));
+  layer.set_training(false);
+  expect_gradients_match(layer, random_input({3, 3, 4, 2}, 44));
+}
+
 TEST(GradCheck, Lstm) {
   util::Rng rng(7);
   nn::LSTM layer("rnn", 4, 6, 5, rng);
   expect_gradients_match(layer, random_input({3, 5, 4}, 25), 1e-3, 3e-2);
+}
+
+// Per-gate LSTM gradient check: the stacked 4H dimension orders gates as
+// input, forget, cell, output. Verifying each quarter-block separately
+// (and requiring every block to carry signal) catches gate-order or
+// gate-derivative mix-ups that a whole-parameter sweep can average away.
+TEST(GradCheck, LstmGateGradientBlocks) {
+  util::Rng rng(31);
+  nn::LSTM layer("rnn", 3, 4, 4, rng);
+  nn::Tensor input = random_input({2, 4, 3}, 32);
+
+  const nn::Tensor out0 = layer.forward(input);
+  const nn::Tensor w = testing::loss_weights(out0.shape());
+  layer.zero_grad();
+  layer.forward(input);
+  nn::Tensor grad_out = w;
+  layer.backward(grad_out);
+
+  const double eps = 1e-3;
+  const double tolerance = 3e-2;
+  const char* gate_names[] = {"input", "forget", "cell", "output"};
+  for (nn::Parameter* p : layer.parameters()) {
+    ASSERT_EQ(p->numel() % 4, 0u) << p->name;
+    const std::size_t per_gate = p->numel() / 4;
+    for (std::size_t gate = 0; gate < 4; ++gate) {
+      double block_signal = 0.0;
+      for (std::size_t k = 0; k < per_gate; ++k) {
+        block_signal += std::abs(p->grad[gate * per_gate + k]);
+      }
+      EXPECT_GT(block_signal, 0.0)
+          << p->name << " " << gate_names[gate] << " gate carries no gradient";
+
+      const std::size_t stride = std::max<std::size_t>(1, per_gate / 6);
+      for (std::size_t k = 0; k < per_gate; k += stride) {
+        const std::size_t i = gate * per_gate + k;
+        const float saved = p->value[i];
+        p->value[i] = saved + static_cast<float>(eps);
+        const double up = testing::weighted_sum(layer.forward(input), w);
+        p->value[i] = saved - static_cast<float>(eps);
+        const double down = testing::weighted_sum(layer.forward(input), w);
+        p->value[i] = saved;
+        const double fd = (up - down) / (2.0 * eps);
+        EXPECT_NEAR(p->grad[i], fd, tolerance * std::max(1.0, std::abs(fd)))
+            << p->name << " " << gate_names[gate] << " gate index " << k;
+      }
+    }
+  }
 }
 
 TEST(GradCheck, SequentialStack) {

@@ -12,7 +12,10 @@ Checks:
   * per (pid, tid) track, begin timestamps are monotone non-decreasing
     (the writer sorts, so a violation means a serialization bug);
   * the wall-clock domain (pid 0, cat "wall") and the virtual domain
-    (pid > 0, cat "virtual") do not share pids.
+    (pid > 0, cat "virtual") do not share pids;
+  * fault-injection events ("fault.*" / "recovery.*") are instants
+    ('i'/'I') on a virtual-time pid (never pid 0), and every "fault.*"
+    instant names the affected client in its args.
 
 Usage:
   check_trace.py TRACE.json [--expect NAME]...
@@ -131,6 +134,23 @@ def main():
                 fail(f"wall-clock event {i} ({ev['name']!r}) outside pid 0")
             if cat == "virtual" and ev["pid"] == 0:
                 fail(f"virtual event {i} ({ev['name']!r}) on the wall-clock pid")
+
+        name = ev["name"]
+        if isinstance(name, str) and (
+            name.startswith("fault.") or name.startswith("recovery.")
+        ):
+            if ph not in ("i", "I"):
+                fail(
+                    f"event {i} ({name!r}) must be an instant ('i'/'I'), "
+                    f"got phase {ph!r}"
+                )
+            if ev["pid"] == 0:
+                fail(f"event {i} ({name!r}) on the wall-clock pid — fault/"
+                     "recovery instants live in virtual time")
+            if name.startswith("fault."):
+                trace_args = ev.get("args")
+                if not isinstance(trace_args, dict) or "client" not in trace_args:
+                    fail(f"event {i} ({name!r}) missing 'client' in args")
 
         seen_names.add(ev["name"])
 

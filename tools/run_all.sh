@@ -1,6 +1,7 @@
 #!/bin/sh
 # Final validation pass: full test suite + every bench binary + trace
-# validation + (optional) a TSan pass over the instrumented engine.
+# validation + (optional) TSan and ASan+UBSan passes over the
+# instrumented engine and the fault-injection chaos suites.
 set -u
 cd "$(dirname "$0")/.."
 ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
@@ -35,4 +36,21 @@ if [ "${FEDCA_TSAN:-1}" != "0" ]; then
     echo "--- $t (tsan) ---"
     "build-tsan/tests/$t" || exit 1
   done 2>&1 | tee -a /root/repo/tsan_output.txt
+fi
+
+# ASan+UBSan pass over the fault-injection layer and the hardened engines:
+# the chaos suites exercise the unhappy paths (infinite finish times,
+# partial aggregation, abandoned async cycles) where lifetime and UB bugs
+# would hide. FEDCA_ASAN=0 skips it (e.g. when the toolchain lacks libasan).
+if [ "${FEDCA_ASAN:-1}" != "0" ]; then
+  echo "===== asan+ubsan =====" | tee /root/repo/asan_output.txt
+  cmake -B build-asan -S . -DFEDCA_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    >>/root/repo/asan_output.txt 2>&1 &&
+  cmake --build build-asan --target sim_fault_injection_test \
+    fl_robustness_test -j "$(nproc)" >>/root/repo/asan_output.txt 2>&1 &&
+  for t in sim_fault_injection_test fl_robustness_test; do
+    echo "--- $t (asan+ubsan) ---"
+    "build-asan/tests/$t" || exit 1
+  done 2>&1 | tee -a /root/repo/asan_output.txt
 fi
