@@ -1,16 +1,26 @@
 // Google-benchmark microbenches of the kernels on FedCA's hot paths:
-// GEMM (local SGD), statistical progress (Eq. 1), profiler recording,
-// link/event-queue throughput, and speed-timeline integration.
+// GEMM in all three transpose variants (local SGD), the retained naive
+// references (before/after comparison), the pool-parallel GEMM path, span
+// kernels, the fused dense-layer helpers, conv2d forward/backward,
+// statistical progress (Eq. 1), profiler recording, link/event-queue
+// throughput, speed-timeline integration, and end-to-end round throughput.
 #include <benchmark/benchmark.h>
 
 #include "core/progress.hpp"
 #include "core/sampling_profiler.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "fl/experiment.hpp"
+#include "fl/round_engine.hpp"
+#include "fl/scheme.hpp"
+#include "nn/conv2d.hpp"
 #include "nn/models.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 #include "tensor/ops.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -38,6 +48,166 @@ void BM_Gemm(benchmark::State& state) {
                           static_cast<std::int64_t>(2 * n * n * n));
 }
 BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GemmNT(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const tensor::Tensor a = randn({n, n}, 1);
+  const tensor::Tensor b = randn({n, n}, 2);
+  tensor::Tensor c({n, n});
+  for (auto _ : state) {
+    tensor::gemm_nt(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmNT)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GemmTN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const tensor::Tensor a = randn({n, n}, 1);
+  const tensor::Tensor b = randn({n, n}, 2);
+  tensor::Tensor c({n, n});
+  for (auto _ : state) {
+    tensor::gemm_tn(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmTN)->Arg(32)->Arg(64)->Arg(128);
+
+// The naive pre-optimization kernel, kept for honest before/after numbers.
+void BM_GemmRef(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const tensor::Tensor a = randn({n, n}, 1);
+  const tensor::Tensor b = randn({n, n}, 2);
+  tensor::Tensor c({n, n});
+  for (auto _ : state) {
+    tensor::ref::gemm(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmRef)->Arg(32)->Arg(64)->Arg(128);
+
+// Opt-in pool-parallel row-block path (bit-identical to serial).
+void BM_GemmParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const tensor::Tensor a = randn({n, n}, 1);
+  const tensor::Tensor b = randn({n, n}, 2);
+  tensor::Tensor c({n, n});
+  util::ThreadPool pool(0);
+  tensor::set_gemm_threading(&pool, /*min_flops=*/1);
+  for (auto _ : state) {
+    tensor::gemm(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  tensor::set_gemm_threading(nullptr);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmParallel)->Arg(128)->Arg(256);
+
+void BM_Axpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const tensor::Tensor x = randn({n}, 3);
+  tensor::Tensor y = randn({n}, 4);
+  for (auto _ : state) {
+    tensor::axpy(0.5f, x.data(), y.data());
+    benchmark::DoNotOptimize(y.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Axpy)->Arg(65536);
+
+void BM_Dot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const tensor::Tensor x = randn({n}, 3);
+  const tensor::Tensor y = randn({n}, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::dot(x.data(), y.data()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Dot)->Arg(65536);
+
+void BM_L2Norm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const tensor::Tensor x = randn({n}, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::l2_norm(x.data()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_L2Norm)->Arg(65536);
+
+void BM_Scale(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  tensor::Tensor x = randn({n}, 3);
+  for (auto _ : state) {
+    tensor::scale(1.0000001f, x.data());
+    benchmark::DoNotOptimize(x.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Scale)->Arg(65536);
+
+void BM_BiasAdd(benchmark::State& state) {
+  const std::size_t rows = 64, cols = 256;
+  tensor::Tensor out = randn({rows, cols}, 5);
+  const tensor::Tensor bias = randn({cols}, 6);
+  for (auto _ : state) {
+    tensor::bias_add(out.data(), rows, bias.data());
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows * cols));
+}
+BENCHMARK(BM_BiasAdd);
+
+void BM_RowSum(benchmark::State& state) {
+  const std::size_t rows = 64, cols = 256;
+  const tensor::Tensor in = randn({rows, cols}, 5);
+  tensor::Tensor out({cols});
+  for (auto _ : state) {
+    tensor::row_sum(in.data(), rows, out.data());
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows * cols));
+}
+BENCHMARK(BM_RowSum);
+
+void BM_ConvForward(benchmark::State& state) {
+  util::Rng rng(11);
+  nn::Conv2d conv("bench", 8, 16, 16, 16, 3, 1, 1, rng);
+  tensor::Tensor input = randn({8, 8, 16, 16}, 12);
+  for (auto _ : state) {
+    tensor::Tensor out = conv.forward(input);
+    benchmark::DoNotOptimize(out.raw());
+  }
+}
+BENCHMARK(BM_ConvForward);
+
+void BM_ConvBackward(benchmark::State& state) {
+  util::Rng rng(11);
+  nn::Conv2d conv("bench", 8, 16, 16, 16, 3, 1, 1, rng);
+  tensor::Tensor input = randn({8, 8, 16, 16}, 12);
+  tensor::Tensor grad = randn({8, 16, 16, 16}, 13);
+  conv.forward(input);
+  for (auto _ : state) {
+    conv.zero_grad();
+    tensor::Tensor dx = conv.backward(grad);
+    benchmark::DoNotOptimize(dx.raw());
+  }
+}
+BENCHMARK(BM_ConvBackward);
 
 void BM_StatisticalProgress(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -111,6 +281,32 @@ void BM_SpeedTimelineFinish(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpeedTimelineFinish);
+
+// End-to-end round throughput: wall-clock per FedAvg round (real local SGD
+// for every client) at the given worker count. Arg 0 = FEDCA_THREADS /
+// hardware default.
+void BM_RoundThroughput(benchmark::State& state) {
+  fl::ExperimentOptions options;
+  options.model = nn::ModelKind::kCnn;
+  options.num_clients = 8;
+  options.local_iterations = 5;
+  options.batch_size = 16;
+  options.train_samples = 800;
+  options.test_samples = 32;
+  options.seed = 21;
+  options.worker_threads = static_cast<std::size_t>(state.range(0));
+  fl::FedAvgScheme scheme;
+  fl::ExperimentSetup setup = fl::make_setup(options, scheme);
+  for (auto _ : state) {
+    const fl::RoundRecord record = setup.engine->run_round();
+    benchmark::DoNotOptimize(record.end_time);
+  }
+  state.counters["clients"] = static_cast<double>(options.num_clients);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(options.num_clients *
+                                                    options.local_iterations));
+}
+BENCHMARK(BM_RoundThroughput)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

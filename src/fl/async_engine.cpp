@@ -37,6 +37,106 @@ AsyncEngine::AsyncEngine(nn::Classifier* model, sim::Cluster* cluster,
 
 void AsyncEngine::load_global_into_model() { model_->load(global_); }
 
+std::unique_ptr<nn::Classifier> AsyncEngine::acquire_replica() {
+  {
+    std::lock_guard<std::mutex> lock(replica_mutex_);
+    if (!replicas_.empty()) {
+      std::unique_ptr<nn::Classifier> replica = std::move(replicas_.back());
+      replicas_.pop_back();
+      return replica;
+    }
+  }
+  return model_->clone();
+}
+
+void AsyncEngine::release_replica(std::unique_ptr<nn::Classifier> replica) {
+  std::lock_guard<std::mutex> lock(replica_mutex_);
+  replicas_.push_back(std::move(replica));
+}
+
+util::ThreadPool& AsyncEngine::dispatch_pool(std::size_t workers) {
+  util::ThreadPool& shared = util::ThreadPool::shared();
+  if (workers <= shared.worker_count()) return shared;
+  if (!own_pool_ || own_pool_->worker_count() < workers) {
+    own_pool_ = std::make_unique<util::ThreadPool>(workers);
+  }
+  return *own_pool_;
+}
+
+void AsyncEngine::train_pending(InFlight& winner_flight, std::size_t winner) {
+  if (!clone_checked_) {
+    clone_checked_ = true;
+    std::unique_ptr<nn::Classifier> first = model_->clone();
+    cloneable_ = first != nullptr;
+    if (cloneable_) release_replica(std::move(first));
+  }
+
+  if (!cloneable_) {
+    // Legacy serial path: train only the winner, in place on the shared
+    // model (batch-norm buffers chain arrival-to-arrival exactly as
+    // before).
+    model_->load(winner_flight.snapshot);
+    model_->set_training(true);
+    nn::SgdOptimizer optimizer(model_->parameters(), options_.optimizer);
+    for (std::size_t it = 0; it < options_.local_iterations; ++it) {
+      const data::Batch batch = loaders_[winner].next();
+      model_->compute_gradients(batch.inputs, batch.labels);
+      optimizer.step();
+    }
+    winner_flight.update = nn::state_sub(model_->state(), winner_flight.snapshot);
+    winner_flight.trained = true;
+    winner_flight.snapshot = nn::ModelState{};
+    return;
+  }
+
+  // Speculative batch: the winner plus every other live, non-lost,
+  // untrained cycle. Each cycle's result depends only on its own snapshot
+  // and its client's private loader (one cycle in flight per client, so
+  // loader consumption order is the client's cycle order no matter when or
+  // on which thread training runs). The batch set itself is a function of
+  // virtual time only — worker-count invariant.
+  std::vector<InFlight*> jobs;
+  std::vector<std::size_t> ids;
+  jobs.push_back(&winner_flight);
+  ids.push_back(winner);
+  for (std::size_t c = 0; c < in_flight_.size(); ++c) {
+    if (c == winner) continue;
+    InFlight& f = in_flight_[c];
+    if (f.dead || f.lost || f.trained || !std::isfinite(f.arrival_time)) continue;
+    jobs.push_back(&f);
+    ids.push_back(c);
+  }
+
+  const std::vector<double> base_buffers = nn::capture_buffers(model_->backbone());
+  const auto train_one = [&](std::size_t i) {
+    InFlight& f = *jobs[i];
+    std::unique_ptr<nn::Classifier> replica = acquire_replica();
+    if (!base_buffers.empty()) nn::load_buffers(replica->backbone(), base_buffers);
+    replica->load(f.snapshot);
+    replica->set_training(true);
+    nn::SgdOptimizer optimizer(replica->parameters(), options_.optimizer);
+    for (std::size_t it = 0; it < options_.local_iterations; ++it) {
+      const data::Batch batch = loaders_[ids[i]].next();
+      replica->compute_gradients(batch.inputs, batch.labels);
+      optimizer.step();
+    }
+    f.update = nn::state_sub(replica->state(), f.snapshot);
+    if (!base_buffers.empty()) f.buffers = nn::capture_buffers(replica->backbone());
+    f.trained = true;
+    f.snapshot = nn::ModelState{};  // no longer needed; free the copy
+    release_replica(std::move(replica));
+  };
+
+  const std::size_t workers = util::ThreadPool::resolve_workers(options_.worker_threads);
+  if (workers <= 1 || jobs.size() <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) train_one(i);
+  } else {
+    dispatch_pool(workers).parallel_for_dynamic(jobs.size(), train_one, workers);
+  }
+  FEDCA_MCOUNT("async.speculative_batches", 1.0);
+  FEDCA_MCOUNT("async.speculative_cycles", static_cast<double>(jobs.size()));
+}
+
 void AsyncEngine::launch(std::size_t c, double t) {
   obs::TraceCollector& tracer = obs::TraceCollector::global();
   const bool tracing = tracer.enabled();
@@ -186,17 +286,14 @@ AsyncUpdateRecord AsyncEngine::step() {
     return record;
   }
 
-  // Train the winner's cycle NOW, from the snapshot it downloaded. The
-  // timing was already committed at launch; training is time-free.
-  model_->load(flight.snapshot);
-  model_->set_training(true);
-  nn::SgdOptimizer optimizer(model_->parameters(), options_.optimizer);
-  for (std::size_t it = 0; it < options_.local_iterations; ++it) {
-    const data::Batch batch = loaders_[winner].next();
-    model_->compute_gradients(batch.inputs, batch.labels);
-    optimizer.step();
-  }
-  nn::ModelState update = nn::state_sub(model_->state(), flight.snapshot);
+  // The winner's cycle trains from the snapshot it downloaded; the timing
+  // was already committed at launch, so training is time-free and may have
+  // happened speculatively in an earlier batch. Install the winner's
+  // post-training batch-norm buffers at apply time (arrival order), so the
+  // shared model evolves exactly as a serial schedule would leave it.
+  if (!flight.trained) train_pending(flight, winner);
+  nn::ModelState update = std::move(flight.update);
+  if (!flight.buffers.empty()) nn::load_buffers(model_->backbone(), flight.buffers);
 
   AsyncUpdateRecord record;
   record.client_id = winner;

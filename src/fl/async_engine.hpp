@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -32,6 +33,7 @@
 #include "nn/sgd.hpp"
 #include "sim/cluster.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fedca::fl {
 
@@ -48,6 +50,15 @@ struct AsyncEngineOptions {
   // would run longer is abandoned at start + cycle_timeout and the client
   // relaunched; kNoDeadline (default) keeps behavior bit-identical.
   double cycle_timeout = kNoDeadline;
+  // Worker threads for speculative parallel training of in-flight cycles:
+  // 0 resolves through FEDCA_THREADS (falling back to hardware
+  // concurrency), 1 forces serial. When a winner's update is not yet
+  // cached, the engine batch-trains EVERY untrained live in-flight cycle
+  // concurrently on model replicas — each cycle's update depends only on
+  // its own snapshot and its client's private loader stream, so results
+  // are bit-identical for any worker count. Requires a cloneable model;
+  // otherwise cycles train serially at arrival (legacy behavior).
+  std::size_t worker_threads = 0;
 };
 
 struct AsyncUpdateRecord {
@@ -92,10 +103,22 @@ class AsyncEngine {
     nn::ModelState snapshot;  // the global the client trained from
     bool lost = false;        // cycle abandoned at arrival_time
     bool dead = false;        // client permanently out (crash / dead link)
+    // Speculative training cache: the cycle's SGD result (and the replica's
+    // batch-norm buffers) once a batch-training pass has run it.
+    bool trained = false;
+    nn::ModelState update;
+    std::vector<double> buffers;
   };
 
   // Starts client `c`'s next cycle at virtual time `t`.
   void launch(std::size_t c, double t);
+  // Trains `winner_flight` (client `winner`) plus every other untrained
+  // live in-flight cycle, concurrently on replicas when the model is
+  // cloneable. Fills each flight's `update` / `buffers` / `trained`.
+  void train_pending(InFlight& winner_flight, std::size_t winner);
+  std::unique_ptr<nn::Classifier> acquire_replica();
+  void release_replica(std::unique_ptr<nn::Classifier> replica);
+  util::ThreadPool& dispatch_pool(std::size_t workers);
 
   nn::Classifier* model_;
   sim::Cluster* cluster_;
@@ -109,6 +132,12 @@ class AsyncEngine {
   // Trace pids (server + one per client), reserved lazily on the first
   // launch that finds the trace collector armed. 0 = not yet reserved.
   std::uint32_t trace_pid_base_ = 0;
+  // Replica free-list for speculative parallel training.
+  std::mutex replica_mutex_;
+  std::vector<std::unique_ptr<nn::Classifier>> replicas_;
+  bool clone_checked_ = false;
+  bool cloneable_ = false;
+  std::unique_ptr<util::ThreadPool> own_pool_;
 };
 
 }  // namespace fedca::fl

@@ -76,6 +76,7 @@ ExperimentSetup make_setup(const ExperimentOptions& options, Scheme& scheme) {
   engine_options.collect_fraction = options.collect_fraction;
   engine_options.participation_fraction = options.participation_fraction;
   engine_options.upload_timeout = options.upload_timeout;
+  engine_options.worker_threads = options.worker_threads;
   setup.engine = std::make_unique<RoundEngine>(setup.model.get(), setup.cluster.get(),
                                                setup.shards, &scheme, engine_options,
                                                loader_rng);

@@ -49,6 +49,10 @@ struct ExperimentOptions {
   std::size_t accuracy_smoothing = 3;  // rounds averaged for the stop check
   std::size_t eval_every = 1;          // rounds between evaluations
   sim::ClusterOptions cluster;
+  // Worker threads for concurrent client training (see
+  // RoundEngineOptions::worker_threads): 0 = FEDCA_THREADS env var or
+  // hardware concurrency, 1 = serial. Output is bit-identical either way.
+  std::size_t worker_threads = 0;
   std::uint64_t seed = 42;
   // Observability. Non-empty paths arm the corresponding output; the
   // FEDCA_TRACE / FEDCA_METRICS environment variables fill either when it

@@ -56,6 +56,33 @@ RoundEngine::RoundEngine(nn::Classifier* model, sim::Cluster* cluster,
 
 void RoundEngine::load_global_into_model() { model_->load(global_); }
 
+std::unique_ptr<nn::Classifier> RoundEngine::acquire_replica() {
+  {
+    std::lock_guard<std::mutex> lock(replica_mutex_);
+    if (!replicas_.empty()) {
+      std::unique_ptr<nn::Classifier> replica = std::move(replicas_.back());
+      replicas_.pop_back();
+      return replica;
+    }
+  }
+  // Clone outside the lock: deep copies are the expensive part.
+  return model_->clone();
+}
+
+void RoundEngine::release_replica(std::unique_ptr<nn::Classifier> replica) {
+  std::lock_guard<std::mutex> lock(replica_mutex_);
+  replicas_.push_back(std::move(replica));
+}
+
+util::ThreadPool& RoundEngine::dispatch_pool(std::size_t workers) {
+  util::ThreadPool& shared = util::ThreadPool::shared();
+  if (workers <= shared.worker_count()) return shared;
+  if (!own_pool_ || own_pool_->worker_count() < workers) {
+    own_pool_ = std::make_unique<util::ThreadPool>(workers);
+  }
+  return *own_pool_;
+}
+
 void RoundEngine::register_trace_processes() {
   obs::TraceCollector& tracer = obs::TraceCollector::global();
   if (trace_registered_ || !tracer.enabled()) return;
@@ -122,15 +149,88 @@ RoundRecord RoundEngine::run_round() {
     participants = std::move(alive);
   }
 
-  record.clients.reserve(participants.size());
-  for (const std::size_t c : participants) {
+  // Per-participant round facts, built serially in participant order.
+  std::vector<RoundInfo> infos(participants.size());
+  for (std::size_t i = 0; i < participants.size(); ++i) {
     RoundInfo info;
     info.round_index = round_index_;
     info.start_time = clock_;
     info.deadline = (plan.deadline == kNoDeadline) ? kNoDeadline : clock_ + plan.deadline;
-    info.planned_iterations = std::max<std::size_t>(1, plan.iterations[c]);
+    info.planned_iterations = std::max<std::size_t>(1, plan.iterations[participants[i]]);
     info.nominal_iterations = options_.local_iterations;
-    record.clients.push_back(run_client(c, info));
+    infos[i] = info;
+  }
+
+  if (!clone_checked_) {
+    clone_checked_ = true;
+    std::unique_ptr<nn::Classifier> first = model_->clone();
+    cloneable_ = first != nullptr;
+    if (cloneable_) release_replica(std::move(first));
+  }
+
+  record.clients.resize(participants.size());
+  if (!cloneable_) {
+    // Legacy serial path: the model cannot be cloned, so every client
+    // trains in place on the shared instance, in participant order.
+    bool trained = false;
+    for (std::size_t i = 0; i < participants.size(); ++i) {
+      record.clients[i] = run_client(participants[i], infos[i], *model_, &trained);
+    }
+  } else {
+    // Replica path (used for EVERY worker count so batch-norm buffer
+    // semantics never depend on the schedule): each client trains a private
+    // replica seeded with the global weights and the round-start buffer
+    // snapshot; results land in pre-sized slots, so output is bit-identical
+    // for 1 or N workers.
+    const std::vector<double> round_buffers = nn::capture_buffers(model_->backbone());
+    std::vector<std::vector<double>> slot_buffers(participants.size());
+    std::vector<char> slot_trained(participants.size(), 0);
+    const auto train_one = [&](std::size_t i) {
+      std::unique_ptr<nn::Classifier> replica = acquire_replica();
+      if (!round_buffers.empty()) {
+        nn::load_buffers(replica->backbone(), round_buffers);
+      }
+      bool trained = false;
+      record.clients[i] = run_client(participants[i], infos[i], *replica, &trained);
+      if (trained && !round_buffers.empty()) {
+        slot_buffers[i] = nn::capture_buffers(replica->backbone());
+      }
+      slot_trained[i] = trained ? 1 : 0;
+      release_replica(std::move(replica));
+    };
+    const std::size_t workers = util::ThreadPool::resolve_workers(options_.worker_threads);
+    if (workers <= 1 || participants.size() <= 1) {
+      for (std::size_t i = 0; i < participants.size(); ++i) train_one(i);
+    } else {
+      dispatch_pool(workers).parallel_for_dynamic(participants.size(), train_one, workers);
+    }
+    // The shared model keeps the buffers of the last participant that
+    // trained — the same participant the serial schedule would leave them
+    // from — regardless of how the slots were scheduled.
+    if (!round_buffers.empty()) {
+      for (std::size_t i = participants.size(); i-- > 0;) {
+        if (slot_trained[i]) {
+          nn::load_buffers(model_->backbone(), slot_buffers[i]);
+          break;
+        }
+      }
+    }
+  }
+
+  // Per-client success metrics, emitted in participant order on this
+  // thread: double-valued counter adds and histogram updates are
+  // order-sensitive in the last ulps, so they must not race.
+  for (const ClientRoundResult& r : record.clients) {
+    if (r.failed || !std::isfinite(r.arrival_time)) continue;
+    FEDCA_MCOUNT("engine.client_rounds", 1.0);
+    FEDCA_MCOUNT("engine.bytes_sent", r.bytes_sent);
+    FEDCA_MCOUNT("engine.retransmissions",
+                 static_cast<double>(r.retransmitted_layers));
+    FEDCA_MHISTO("engine.client_arrival_seconds", 0.0, 600.0, 60,
+                 r.arrival_time - record.start_time);
+    FEDCA_MHISTO("engine.client_iterations", 0.0,
+                 static_cast<double>(std::max<std::size_t>(1, options_.local_iterations)),
+                 32, static_cast<double>(r.iterations_run));
   }
 
   // Survivor filtering: failed clients and non-finite arrivals never make
@@ -239,11 +339,12 @@ RoundRecord RoundEngine::run_round() {
   return record;
 }
 
-ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo& info) {
+ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo& info,
+                                          nn::Classifier& model, bool* trained) {
   sim::ClientDevice& device = cluster_->client(client_id);
   ClientPolicy& policy = scheme_->client_policy(client_id);
-  const double bytes_per_param = model_->info().bytes_per_actual_param();
-  const double iteration_work = model_->info().nominal_iteration_seconds;
+  const double bytes_per_param = model.info().bytes_per_actual_param();
+  const double iteration_work = model.info().nominal_iteration_seconds;
 
   ClientRoundResult result;
   result.client_id = client_id;
@@ -334,10 +435,11 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
   }
 
   // 2. Local training.
-  model_->load(global_);
-  model_->set_training(true);
+  model.load(global_);
+  model.set_training(true);
+  *trained = true;  // at least one SGD step always runs past this point
   nn::SgdOptions opt_options = scheme_->local_optimizer(options_.optimizer);
-  nn::SgdOptimizer optimizer(model_->parameters(), opt_options);
+  nn::SgdOptimizer optimizer(model.parameters(), opt_options);
   if (opt_options.prox_mu != 0.0) optimizer.capture_prox_anchor();
   const double base_lr = opt_options.learning_rate;
 
@@ -350,7 +452,7 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
   std::size_t iterations = 0;
   bool stopped_early = false;
 
-  const std::vector<nn::Parameter*> params = model_->parameters();
+  const std::vector<nn::Parameter*> params = model.parameters();
 
   bool interrupted = false;
   for (std::size_t tau = 1; tau <= info.planned_iterations; ++tau) {
@@ -358,7 +460,7 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
     {
       FEDCA_KERNEL_SPAN("sgd.step");
       const data::Batch batch = loaders_[client_id].next();
-      loss_sum += model_->compute_gradients(batch.inputs, batch.labels);
+      loss_sum += model.compute_gradients(batch.inputs, batch.labels);
       optimizer.step();
     }
     t = device.compute_finish(t, iteration_work);
@@ -382,7 +484,7 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
     view.train_start = train_start;
     view.round = &info;
     view.round_start = &global_;
-    view.model = &model_->backbone();
+    view.model = &model.backbone();
     const IterationDecision decision = policy.after_iteration(view);
 
     for (const std::size_t layer : decision.eager_layers) {
@@ -474,7 +576,7 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
   }
 
   // 3. Final update, retransmission selection, and upload.
-  nn::ModelState final_update = nn::state_sub(model_->state(), global_);
+  nn::ModelState final_update = nn::state_sub(model.state(), global_);
   const std::vector<std::size_t> retrans =
       policy.select_retransmissions(final_update, result.eager);
   std::unordered_set<std::size_t> retrans_set(retrans.begin(), retrans.end());
@@ -548,15 +650,8 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
     policy.on_round_end(info);
     return result;
   }
-  FEDCA_MCOUNT("engine.client_rounds", 1.0);
-  FEDCA_MCOUNT("engine.bytes_sent", result.bytes_sent);
-  FEDCA_MCOUNT("engine.retransmissions",
-               static_cast<double>(result.retransmitted_layers));
-  FEDCA_MHISTO("engine.client_arrival_seconds", 0.0, 600.0, 60,
-               result.arrival_time - info.start_time);
-  FEDCA_MHISTO("engine.client_iterations", 0.0,
-               static_cast<double>(std::max<std::size_t>(1, info.nominal_iterations)),
-               32, static_cast<double>(result.iterations_run));
+  // Success metrics (counters + histograms) are emitted by run_round in
+  // participant order — double-valued metric updates must not race.
 
   // 4. The update the server applies: eager values stand unless the layer
   // was retransmitted (in which case the exact final value arrives).

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -36,6 +37,7 @@
 #include "nn/models.hpp"
 #include "sim/cluster.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fedca::fl {
 
@@ -54,6 +56,14 @@ struct RoundEngineOptions {
   // survivors are re-weighted to sum to 1). kNoDeadline disables the
   // cut-off; the default keeps the fault-free behavior bit-identical.
   double upload_timeout = kNoDeadline;
+  // Worker threads for concurrent client training: 0 resolves through the
+  // FEDCA_THREADS environment variable (falling back to hardware
+  // concurrency), 1 forces serial execution. Results are bit-identical for
+  // every worker count: RNG streams are per-client, results land in
+  // pre-sized slots, and aggregation runs in participant order on the main
+  // thread. Requires the model to be cloneable (Module::clone); otherwise
+  // the engine silently trains serially on the shared instance.
+  std::size_t worker_threads = 0;
 };
 
 class RoundEngine {
@@ -79,7 +89,21 @@ class RoundEngine {
   void load_global_into_model();
 
  private:
-  ClientRoundResult run_client(std::size_t client_id, const RoundInfo& info);
+  // Trains one client on `model` (the shared instance on the serial path, a
+  // private replica on the parallel path). Sets *trained when at least one
+  // SGD step ran — the caller uses it to decide whose batch-norm buffers
+  // survive the round.
+  ClientRoundResult run_client(std::size_t client_id, const RoundInfo& info,
+                               nn::Classifier& model, bool* trained);
+  // Pops a free replica (cloning a new one if the pool is empty); returns
+  // nullptr when the model is not cloneable.
+  std::unique_ptr<nn::Classifier> acquire_replica();
+  void release_replica(std::unique_ptr<nn::Classifier> replica);
+  // The pool used for dispatch: the process-shared pool when it is large
+  // enough, otherwise a lazily-created engine-owned pool of `workers`
+  // threads (so explicit worker counts above the shared pool's size still
+  // exercise real concurrency).
+  util::ThreadPool& dispatch_pool(std::size_t workers);
   // Lazily reserves trace pids (server + one per client) and names the
   // processes; no-op while the trace collector is disarmed.
   void register_trace_processes();
@@ -103,6 +127,13 @@ class RoundEngine {
   // Per-client flag so a permanent crash is announced (instant + counter)
   // exactly once, the first round it takes effect.
   std::vector<char> crash_reported_;
+  // Replica free-list for parallel client training. `cloneable_` caches the
+  // first clone() attempt's verdict.
+  std::mutex replica_mutex_;
+  std::vector<std::unique_ptr<nn::Classifier>> replicas_;
+  bool clone_checked_ = false;
+  bool cloneable_ = false;
+  std::unique_ptr<util::ThreadPool> own_pool_;
 };
 
 }  // namespace fedca::fl

@@ -100,6 +100,16 @@ struct RoundPlan {
   std::vector<std::size_t> iterations;
 };
 
+// Thread-safety contract (parallel client training): the round engines may
+// call client_policy(c), local_optimizer(...) and make_compressor(c, r) —
+// and drive the returned policies/compressors — concurrently from worker
+// threads, with at most one thread per client id. Implementations must
+// therefore (a) keep per-client state inside the per-client policy object,
+// (b) make local_optimizer a pure function of its argument + immutable
+// scheme config, and (c) derive any compressor randomness from (client_id,
+// round_index) instead of drawing from a shared stream. plan_round and
+// observe_round are only ever called from the engine thread, between
+// rounds — server-side mutable state belongs there.
 class Scheme {
  public:
   virtual ~Scheme() = default;

@@ -10,6 +10,7 @@ class ReLU : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string type_name() const override { return "ReLU"; }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<ReLU>(*this); }
 
  private:
   Tensor cached_input_;
@@ -20,6 +21,7 @@ class Tanh : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string type_name() const override { return "Tanh"; }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<Tanh>(*this); }
 
  private:
   Tensor cached_output_;
@@ -30,6 +32,7 @@ class Sigmoid : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string type_name() const override { return "Sigmoid"; }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<Sigmoid>(*this); }
 
  private:
   Tensor cached_output_;
@@ -42,6 +45,7 @@ class Flatten : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string type_name() const override { return "Flatten"; }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<Flatten>(*this); }
 
  private:
   tensor::Shape cached_shape_;

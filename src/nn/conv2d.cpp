@@ -46,20 +46,24 @@ Tensor Conv2d::forward(const Tensor& input) {
   const std::size_t image_size = geo_.in_channels * geo_.in_h * geo_.in_w;
 
   cached_batch_ = n;
-  cached_columns_.assign(n, Tensor({col_rows, oh * ow}));
+  cached_input_ = input;
+  if (scratch_columns_.numel() != col_rows * oh * ow) {
+    scratch_columns_ = Tensor({col_rows, oh * ow});
+  }
 
   Tensor output({n, out_channels_, oh, ow});
-  Tensor sample_out({out_channels_, oh * ow});
   for (std::size_t s = 0; s < n; ++s) {
     tensor::im2col(input.data().subspan(s * image_size, image_size), geo_,
-                   cached_columns_[s].data());
-    tensor::gemm(weight_.value, cached_columns_[s], sample_out);
+                   scratch_columns_.data());
     float* out_ptr = output.raw() + s * out_channels_ * oh * ow;
-    for (std::size_t c = 0; c < out_channels_; ++c) {
-      const float b = has_bias_ ? bias_.value[c] : 0.0f;
-      const float* src = sample_out.raw() + c * oh * ow;
-      float* dst = out_ptr + c * oh * ow;
-      for (std::size_t i = 0; i < oh * ow; ++i) dst[i] = src[i] + b;
+    tensor::gemm(out_channels_, col_rows, oh * ow, weight_.value.raw(),
+                 scratch_columns_.raw(), out_ptr);
+    if (has_bias_) {
+      for (std::size_t c = 0; c < out_channels_; ++c) {
+        const float b = bias_.value[c];
+        float* dst = out_ptr + c * oh * ow;
+        for (std::size_t i = 0; i < oh * ow; ++i) dst[i] += b;
+      }
     }
   }
   return output;
@@ -77,15 +81,24 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   const std::size_t image_size = geo_.in_channels * geo_.in_h * geo_.in_w;
 
   Tensor grad_input({n, geo_.in_channels, geo_.in_h, geo_.in_w});
-  Tensor dy_mat({out_channels_, oh * ow});
-  Tensor dw({out_channels_, col_rows});
-  Tensor dcols({col_rows, oh * ow});
+  if (scratch_dw_.numel() != out_channels_ * col_rows) {
+    scratch_dw_ = Tensor({out_channels_, col_rows});
+  }
+  if (scratch_dcols_.numel() != col_rows * oh * ow) {
+    scratch_dcols_ = Tensor({col_rows, oh * ow});
+  }
   for (std::size_t s = 0; s < n; ++s) {
+    // Recompute this sample's im2col panel from the cached input — a pure
+    // function of (input, geometry), so the gradients are bit-identical to
+    // the old keep-every-panel scheme.
+    tensor::im2col(cached_input_.data().subspan(s * image_size, image_size), geo_,
+                   scratch_columns_.data());
     const float* dy = grad_output.raw() + s * out_channels_ * oh * ow;
-    std::copy(dy, dy + out_channels_ * oh * ow, dy_mat.raw());
-    // dW += dY * cols^T
-    tensor::gemm_nt(dy_mat, cached_columns_[s], dw);
-    tensor::add_scaled(weight_.grad, 1.0f, dw);
+    // dW += dY * cols^T (dY slice is already a contiguous [out_c, oh*ow]
+    // matrix — no staging copy needed).
+    tensor::gemm_nt(out_channels_, oh * ow, col_rows, dy, scratch_columns_.raw(),
+                    scratch_dw_.raw());
+    tensor::add_scaled(weight_.grad, 1.0f, scratch_dw_);
     if (has_bias_) {
       for (std::size_t c = 0; c < out_channels_; ++c) {
         double acc = 0.0;
@@ -94,8 +107,9 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
       }
     }
     // dcols = W^T * dY, then scatter back to image layout.
-    tensor::gemm_tn(weight_.value, dy_mat, dcols);
-    tensor::col2im(dcols.data(), geo_,
+    tensor::gemm_tn(out_channels_, col_rows, oh * ow, weight_.value.raw(), dy,
+                    scratch_dcols_.raw());
+    tensor::col2im(scratch_dcols_.data(), geo_,
                    grad_input.data().subspan(s * image_size, image_size));
   }
   return grad_input;

@@ -20,6 +20,7 @@ class Conv2d : public Module {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
   std::string type_name() const override { return "Conv2d"; }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<Conv2d>(*this); }
 
   std::size_t out_channels() const { return out_channels_; }
   std::size_t out_h() const { return geo_.out_h(); }
@@ -31,8 +32,15 @@ class Conv2d : public Module {
   Parameter weight_;  // [out_c, in_c*kh*kw]
   Parameter bias_;    // [out_c]
   bool has_bias_;
-  // Per-sample im2col matrices cached from forward for the backward pass.
-  std::vector<Tensor> cached_columns_;
+  // Forward caches the raw input (one image per sample) and recomputes
+  // im2col in backward into the single reused scratch panel below —
+  // activation memory is ~kernel_area x batch smaller than keeping one
+  // column matrix per sample, at the cost of one extra im2col per sample
+  // per backward (im2col is a copy; the GEMMs dominate).
+  Tensor cached_input_;     // [N, C, H, W]
+  Tensor scratch_columns_;  // [in_c*kh*kw, oh*ow], reused across samples
+  Tensor scratch_dw_;       // [out_c, in_c*kh*kw]
+  Tensor scratch_dcols_;    // [in_c*kh*kw, oh*ow]
   std::size_t cached_batch_ = 0;
 };
 
@@ -44,6 +52,7 @@ class MaxPool2d : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string type_name() const override { return "MaxPool2d"; }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<MaxPool2d>(*this); }
 
   std::size_t out_h() const { return in_h_ / window_; }
   std::size_t out_w() const { return in_w_ / window_; }
@@ -62,6 +71,7 @@ class GlobalAvgPool : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string type_name() const override { return "GlobalAvgPool"; }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<GlobalAvgPool>(*this); }
 
  private:
   std::size_t channels_, in_h_, in_w_;

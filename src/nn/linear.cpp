@@ -31,13 +31,7 @@ Tensor Linear::forward(const Tensor& input) {
   Tensor output({n, out_features_});
   // output[N, out] = input[N, in] * weight[out, in]^T
   tensor::gemm_nt(input, weight_.value, output);
-  if (has_bias_) {
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < out_features_; ++j) {
-        output[i * out_features_ + j] += bias_.value[j];
-      }
-    }
-  }
+  if (has_bias_) tensor::bias_add(output.data(), n, bias_.value.data());
   return output;
 }
 
@@ -52,13 +46,7 @@ Tensor Linear::backward(const Tensor& grad_output) {
   Tensor dw({out_features_, in_features_});
   tensor::gemm_tn(grad_output, cached_input_, dw);
   tensor::add_scaled(weight_.grad, 1.0f, dw);
-  if (has_bias_) {
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < out_features_; ++j) {
-        bias_.grad[j] += grad_output[i * out_features_ + j];
-      }
-    }
-  }
+  if (has_bias_) tensor::row_sum(grad_output.data(), n, bias_.grad.data());
   // dX[N, in] = dY[N, out] * W[out, in]
   Tensor dx({n, in_features_});
   tensor::gemm(grad_output, weight_.value, dx);

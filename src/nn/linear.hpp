@@ -16,6 +16,7 @@ class Linear : public Module {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
   std::string type_name() const override { return "Linear"; }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<Linear>(*this); }
 
   std::size_t in_features() const { return in_features_; }
   std::size_t out_features() const { return out_features_; }

@@ -23,6 +23,7 @@ class LSTM : public Module {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
   std::string type_name() const override { return "LSTM"; }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<LSTM>(*this); }
 
   std::size_t hidden_size() const { return hidden_size_; }
 

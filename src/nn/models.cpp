@@ -38,6 +38,16 @@ Classifier::Classifier(std::unique_ptr<Module> backbone, ModelInfo info)
   info_.actual_params = parameter_count(*backbone_);
 }
 
+std::unique_ptr<Classifier> Classifier::clone() const {
+  std::unique_ptr<Module> backbone_copy = backbone_->clone();
+  if (!backbone_copy) return nullptr;
+  auto out = std::make_unique<Classifier>(std::move(backbone_copy), info_);
+  // The ctor recomputes actual_params; keep the exact original info in
+  // case a caller tweaked it after construction.
+  out->info_ = info_;
+  return out;
+}
+
 Tensor Classifier::forward(const Tensor& inputs) { return backbone_->forward(inputs); }
 
 double Classifier::compute_gradients(const Tensor& inputs, const std::vector<int>& labels) {

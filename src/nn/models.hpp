@@ -78,6 +78,12 @@ class Classifier {
   };
   EvalResult evaluate(const Tensor& inputs, const std::vector<int>& labels);
 
+  // Deep copy for parallel client training: an independent backbone with
+  // its own parameters and batch-norm buffers. Returns nullptr when the
+  // backbone (or any submodule) does not implement Module::clone — the
+  // engines then train serially on this one instance.
+  std::unique_ptr<Classifier> clone() const;
+
   std::vector<Parameter*> parameters() { return backbone_->parameters(); }
   ModelState state() { return capture_state(*backbone_); }
   void load(const ModelState& state) { load_state(*backbone_, state); }

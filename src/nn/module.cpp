@@ -1,5 +1,7 @@
 #include "nn/module.hpp"
 
+#include <stdexcept>
+
 namespace fedca::nn {
 
 void Module::zero_grad() {
@@ -10,6 +12,32 @@ std::size_t parameter_count(Module& module) {
   std::size_t n = 0;
   for (const Parameter* p : module.parameters()) n += p->numel();
   return n;
+}
+
+std::vector<double> capture_buffers(Module& module) {
+  std::vector<double> out;
+  module.visit_buffers([&out](std::span<double> buf) {
+    out.insert(out.end(), buf.begin(), buf.end());
+  });
+  return out;
+}
+
+void load_buffers(Module& module, const std::vector<double>& data) {
+  std::size_t offset = 0;
+  module.visit_buffers([&](std::span<double> buf) {
+    if (offset + buf.size() > data.size()) {
+      throw std::invalid_argument("load_buffers: too little data");
+    }
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(offset),
+              data.begin() + static_cast<std::ptrdiff_t>(offset + buf.size()),
+              buf.begin());
+    offset += buf.size();
+  });
+  if (offset != data.size()) {
+    throw std::invalid_argument("load_buffers: size mismatch (" +
+                                std::to_string(offset) + " buffer scalars vs " +
+                                std::to_string(data.size()) + " provided)");
+  }
 }
 
 }  // namespace fedca::nn

@@ -14,7 +14,9 @@
 // statistical-progress metric) easy to audit.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -65,11 +67,33 @@ class Module {
   // ignore it.
   virtual void set_training(bool /*training*/) {}
 
+  // Deep copy: a structurally identical module tree with its own
+  // parameters and buffers (cached activations may be copied too; the
+  // next forward() overwrites them). Returns nullptr when the module does
+  // not support cloning — the round engines then fall back to serial
+  // in-place training on the one shared model. Every module shipped in
+  // nn/ is cloneable; custom test modules may opt out by default.
+  virtual std::unique_ptr<Module> clone() const { return nullptr; }
+
+  // Visits every non-parameter state buffer (batch-norm running
+  // statistics) in a stable order; containers forward to children.
+  // Modules without buffers (the default) visit nothing. The engines use
+  // this to snapshot/restore buffer state around parallel client
+  // training so eval-time statistics stay worker-count independent.
+  virtual void visit_buffers(const std::function<void(std::span<double>)>& /*fn*/) {}
+
   // Clears all parameter gradients.
   void zero_grad();
 };
 
 // Total scalar parameter count across a module.
 std::size_t parameter_count(Module& module);
+
+// Flattens every buffer visited by visit_buffers into one vector (empty
+// when the module has none).
+std::vector<double> capture_buffers(Module& module);
+// Writes `data` (as produced by capture_buffers on an identically
+// structured module) back into the buffers; throws on size mismatch.
+void load_buffers(Module& module, const std::vector<double>& data);
 
 }  // namespace fedca::nn

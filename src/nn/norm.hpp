@@ -21,6 +21,11 @@ class BatchNorm2d : public Module {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
   std::string type_name() const override { return "BatchNorm2d"; }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<BatchNorm2d>(*this); }
+  void visit_buffers(const std::function<void(std::span<double>)>& fn) override {
+    fn(std::span<double>(running_mean_));
+    fn(std::span<double>(running_var_));
+  }
 
   void set_training(bool training) override { training_ = training; }
   bool training() const { return training_; }

@@ -38,6 +38,20 @@ void Sequential::set_training(bool training) {
   for (auto& child : children_) child->set_training(training);
 }
 
+std::unique_ptr<Module> Sequential::clone() const {
+  auto out = std::make_unique<Sequential>();
+  for (const auto& child : children_) {
+    std::unique_ptr<Module> copy = child->clone();
+    if (!copy) return nullptr;
+    out->add(std::move(copy));
+  }
+  return out;
+}
+
+void Sequential::visit_buffers(const std::function<void(std::span<double>)>& fn) {
+  for (auto& child : children_) child->visit_buffers(fn);
+}
+
 Residual::Residual(std::unique_ptr<Module> main, std::unique_ptr<Module> shortcut)
     : main_(std::move(main)), shortcut_(std::move(shortcut)) {
   if (!main_) throw std::invalid_argument("Residual: null main branch");
@@ -74,6 +88,22 @@ std::vector<Parameter*> Residual::parameters() {
 void Residual::set_training(bool training) {
   main_->set_training(training);
   if (shortcut_) shortcut_->set_training(training);
+}
+
+std::unique_ptr<Module> Residual::clone() const {
+  std::unique_ptr<Module> main_copy = main_->clone();
+  if (!main_copy) return nullptr;
+  std::unique_ptr<Module> shortcut_copy;
+  if (shortcut_) {
+    shortcut_copy = shortcut_->clone();
+    if (!shortcut_copy) return nullptr;
+  }
+  return std::make_unique<Residual>(std::move(main_copy), std::move(shortcut_copy));
+}
+
+void Residual::visit_buffers(const std::function<void(std::span<double>)>& fn) {
+  main_->visit_buffers(fn);
+  if (shortcut_) shortcut_->visit_buffers(fn);
 }
 
 }  // namespace fedca::nn

@@ -1,8 +1,11 @@
 #include "tensor/ops.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace fedca::tensor {
 
@@ -21,7 +24,10 @@ void require_equal_size(std::span<const float> x, std::span<const float> y,
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {
   require_equal_size(x, y, "axpy");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  const float* px = x.data();
+  float* py = y.data();
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) py[i] += alpha * px[i];
 }
 
 void copy(std::span<const float> x, std::span<float> y) {
@@ -30,24 +36,62 @@ void copy(std::span<const float> x, std::span<float> y) {
 }
 
 void scale(float alpha, std::span<float> y) {
-  for (auto& v : y) v *= alpha;
+  float* py = y.data();
+  const std::size_t n = y.size();
+  for (std::size_t i = 0; i < n; ++i) py[i] *= alpha;
 }
+
+namespace {
+
+// Lane width for the double-accumulating span reductions. Eight
+// independent double lanes map onto one 512-bit (or two 256-bit) vector
+// accumulators; the final combine is a fixed halving tree, so the result
+// does not depend on the vector width the compiler picks.
+constexpr std::size_t kRedLanes = 8;
+
+double reduce_lanes(double (&acc)[kRedLanes]) {
+  for (std::size_t stride = kRedLanes / 2; stride > 0; stride /= 2) {
+    for (std::size_t l = 0; l < stride; ++l) acc[l] += acc[l + stride];
+  }
+  return acc[0];
+}
+
+}  // namespace
 
 double dot(std::span<const float> x, std::span<const float> y) {
   require_equal_size(x, y, "dot");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  const float* px = x.data();
+  const float* py = y.data();
+  const std::size_t n = x.size();
+  double acc[kRedLanes] = {};
+  std::size_t i = 0;
+  for (; i + kRedLanes <= n; i += kRedLanes) {
+    for (std::size_t l = 0; l < kRedLanes; ++l) {
+      acc[l] += static_cast<double>(px[i + l]) * static_cast<double>(py[i + l]);
+    }
   }
-  return acc;
+  double total = reduce_lanes(acc);
+  for (; i < n; ++i) {
+    total += static_cast<double>(px[i]) * static_cast<double>(py[i]);
+  }
+  return total;
 }
 
 double l2_norm(std::span<const float> x) { return std::sqrt(dot(x, x)); }
 
 double l1_norm(std::span<const float> x) {
-  double acc = 0.0;
-  for (const auto v : x) acc += std::abs(static_cast<double>(v));
-  return acc;
+  const float* px = x.data();
+  const std::size_t n = x.size();
+  double acc[kRedLanes] = {};
+  std::size_t i = 0;
+  for (; i + kRedLanes <= n; i += kRedLanes) {
+    for (std::size_t l = 0; l < kRedLanes; ++l) {
+      acc[l] += std::abs(static_cast<double>(px[i + l]));
+    }
+  }
+  double total = reduce_lanes(acc);
+  for (; i < n; ++i) total += std::abs(static_cast<double>(px[i]));
+  return total;
 }
 
 double cosine_similarity(std::span<const float> x, std::span<const float> y) {
@@ -66,6 +110,32 @@ double magnitude_similarity(std::span<const float> x, std::span<const float> y) 
   const double hi = std::max(nx, ny);
   if (hi == 0.0) return 1.0;
   return lo / hi;
+}
+
+void bias_add(std::span<float> out, std::size_t rows, std::span<const float> bias) {
+  const std::size_t cols = bias.size();
+  if (out.size() != rows * cols) {
+    throw std::invalid_argument("bias_add: out size " + std::to_string(out.size()) +
+                                " != rows*cols " + std::to_string(rows * cols));
+  }
+  const float* pb = bias.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* prow = out.data() + r * cols;
+    for (std::size_t j = 0; j < cols; ++j) prow[j] += pb[j];
+  }
+}
+
+void row_sum(std::span<const float> in, std::size_t rows, std::span<float> out) {
+  const std::size_t cols = out.size();
+  if (in.size() != rows * cols) {
+    throw std::invalid_argument("row_sum: in size " + std::to_string(in.size()) +
+                                " != rows*cols " + std::to_string(rows * cols));
+  }
+  float* po = out.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* prow = in.data() + r * cols;
+    for (std::size_t j = 0; j < cols; ++j) po[j] += prow[j];
+  }
 }
 
 Tensor add(const Tensor& a, const Tensor& b) {
@@ -106,7 +176,126 @@ void require_matrix(const Tensor& t, const char* name) {
   }
 }
 
+// ---- Blocked GEMM cores -------------------------------------------------
+//
+// Blocking constants. kKc k-rows of B are kept hot in L1/L2 while a panel
+// of kNc output columns is updated; A rows are register-tiled kMr at a
+// time and k is unrolled by kKu. The association order of every C element
+// is a function of these constants only — never of thread count — so
+// output is bit-stable (see the policy note in ops.hpp).
+constexpr std::size_t kKc = 256;
+constexpr std::size_t kNc = 512;
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kKu = 4;
+
+// C rows [i0, i1) of C(mxn) = A(mxk) * B(kxn). Each row's reduction is
+// computed entirely by the caller's thread, which is what makes the
+// parallel row-block path bit-identical to serial.
+void gemm_rows(const float* __restrict__ pa, const float* __restrict__ pb,
+               float* __restrict__ pc, std::size_t i0, std::size_t i1,
+               std::size_t k, std::size_t n) {
+  for (std::size_t jc = 0; jc < n; jc += kNc) {
+    const std::size_t jb = std::min(kNc, n - jc);
+    for (std::size_t kc = 0; kc < k; kc += kKc) {
+      const std::size_t kend = kc + std::min(kKc, k - kc);
+      const bool first = kc == 0;
+      std::size_t i = i0;
+      for (; i + kMr <= i1; i += kMr) {
+        const float* __restrict__ a0 = pa + (i + 0) * k;
+        const float* __restrict__ a1 = pa + (i + 1) * k;
+        const float* __restrict__ a2 = pa + (i + 2) * k;
+        const float* __restrict__ a3 = pa + (i + 3) * k;
+        float* __restrict__ c0 = pc + (i + 0) * n + jc;
+        float* __restrict__ c1 = pc + (i + 1) * n + jc;
+        float* __restrict__ c2 = pc + (i + 2) * n + jc;
+        float* __restrict__ c3 = pc + (i + 3) * n + jc;
+        if (first) {
+          std::fill(c0, c0 + jb, 0.0f);
+          std::fill(c1, c1 + jb, 0.0f);
+          std::fill(c2, c2 + jb, 0.0f);
+          std::fill(c3, c3 + jb, 0.0f);
+        }
+        std::size_t kk = kc;
+        for (; kk + kKu <= kend; kk += kKu) {
+          const float a00 = a0[kk], a01 = a0[kk + 1], a02 = a0[kk + 2], a03 = a0[kk + 3];
+          const float a10 = a1[kk], a11 = a1[kk + 1], a12 = a1[kk + 2], a13 = a1[kk + 3];
+          const float a20 = a2[kk], a21 = a2[kk + 1], a22 = a2[kk + 2], a23 = a2[kk + 3];
+          const float a30 = a3[kk], a31 = a3[kk + 1], a32 = a3[kk + 2], a33 = a3[kk + 3];
+          const float* __restrict__ b0 = pb + (kk + 0) * n + jc;
+          const float* __restrict__ b1 = pb + (kk + 1) * n + jc;
+          const float* __restrict__ b2 = pb + (kk + 2) * n + jc;
+          const float* __restrict__ b3 = pb + (kk + 3) * n + jc;
+          for (std::size_t j = 0; j < jb; ++j) {
+            c0[j] += a00 * b0[j] + a01 * b1[j] + a02 * b2[j] + a03 * b3[j];
+            c1[j] += a10 * b0[j] + a11 * b1[j] + a12 * b2[j] + a13 * b3[j];
+            c2[j] += a20 * b0[j] + a21 * b1[j] + a22 * b2[j] + a23 * b3[j];
+            c3[j] += a30 * b0[j] + a31 * b1[j] + a32 * b2[j] + a33 * b3[j];
+          }
+        }
+        for (; kk < kend; ++kk) {
+          const float v0 = a0[kk], v1 = a1[kk], v2 = a2[kk], v3 = a3[kk];
+          const float* __restrict__ br = pb + kk * n + jc;
+          for (std::size_t j = 0; j < jb; ++j) {
+            c0[j] += v0 * br[j];
+            c1[j] += v1 * br[j];
+            c2[j] += v2 * br[j];
+            c3[j] += v3 * br[j];
+          }
+        }
+      }
+      for (; i < i1; ++i) {
+        const float* __restrict__ ar = pa + i * k;
+        float* __restrict__ cr = pc + i * n + jc;
+        if (first) std::fill(cr, cr + jb, 0.0f);
+        std::size_t kk = kc;
+        for (; kk + kKu <= kend; kk += kKu) {
+          const float v0 = ar[kk], v1 = ar[kk + 1], v2 = ar[kk + 2], v3 = ar[kk + 3];
+          const float* __restrict__ b0 = pb + (kk + 0) * n + jc;
+          const float* __restrict__ b1 = pb + (kk + 1) * n + jc;
+          const float* __restrict__ b2 = pb + (kk + 2) * n + jc;
+          const float* __restrict__ b3 = pb + (kk + 3) * n + jc;
+          for (std::size_t j = 0; j < jb; ++j) {
+            cr[j] += v0 * b0[j] + v1 * b1[j] + v2 * b2[j] + v3 * b3[j];
+          }
+        }
+        for (; kk < kend; ++kk) {
+          const float v = ar[kk];
+          const float* __restrict__ br = pb + kk * n + jc;
+          for (std::size_t j = 0; j < jb; ++j) cr[j] += v * br[j];
+        }
+      }
+    }
+  }
+}
+
+// Opt-in threading state for large plain GEMMs (see ops.hpp).
+std::atomic<util::ThreadPool*> g_gemm_pool{nullptr};
+std::atomic<std::size_t> g_gemm_min_flops{1u << 22};
+
 }  // namespace
+
+void set_gemm_threading(util::ThreadPool* pool, std::size_t min_flops) {
+  g_gemm_min_flops.store(min_flops, std::memory_order_relaxed);
+  g_gemm_pool.store(pool, std::memory_order_release);
+}
+
+void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
+          const float* b, float* c) {
+  util::ThreadPool* pool = g_gemm_pool.load(std::memory_order_acquire);
+  if (pool != nullptr && m >= 2 &&
+      2.0 * static_cast<double>(m) * static_cast<double>(k) * static_cast<double>(n) >=
+          static_cast<double>(g_gemm_min_flops.load(std::memory_order_relaxed))) {
+    const std::size_t blocks =
+        std::min(m, std::max<std::size_t>(1, pool->worker_count()));
+    pool->parallel_for(blocks, [&](std::size_t blk) {
+      const std::size_t i0 = m * blk / blocks;
+      const std::size_t i1 = m * (blk + 1) / blocks;
+      gemm_rows(a, b, c, i0, i1, k, n);
+    });
+    return;
+  }
+  gemm_rows(a, b, c, 0, m, k, n);
+}
 
 void gemm(const Tensor& a, const Tensor& b, Tensor& c) {
   require_matrix(a, "A");
@@ -118,18 +307,73 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c) {
                                 " B" + shape_to_string(b.shape()) + " C" +
                                 shape_to_string(c.shape()));
   }
-  const float* pa = a.raw();
-  const float* pb = b.raw();
-  float* pc = c.raw();
-  // ikj loop order: streaming access to B and C rows.
+  gemm(m, k, n, a.raw(), b.raw(), c.raw());
+}
+
+namespace {
+
+// Lane count of the dot-product accumulators in gemm_nt: 16 independent
+// float chains per output (one 512-bit or two 256-bit vectors), combined
+// with a fixed halving tree, scalar tail appended last.
+constexpr std::size_t kDotLanes = 16;
+
+float reduce_dot_lanes(float (&acc)[kDotLanes]) {
+  for (std::size_t stride = kDotLanes / 2; stride > 0; stride /= 2) {
+    for (std::size_t l = 0; l < stride; ++l) acc[l] += acc[l + stride];
+  }
+  return acc[0];
+}
+
+}  // namespace
+
+void gemm_nt(std::size_t m, std::size_t k, std::size_t n, const float* a,
+             const float* b, float* c) {
+  constexpr std::size_t kJr = 4;  // B rows sharing one pass over an A row
   for (std::size_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    std::fill(crow, crow + n, 0.0f);
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aval = pa[i * k + kk];
-      if (aval == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    const float* __restrict__ ar = a + i * k;
+    float* __restrict__ cr = c + i * n;
+    std::size_t j = 0;
+    for (; j + kJr <= n; j += kJr) {
+      const float* __restrict__ b0 = b + (j + 0) * k;
+      const float* __restrict__ b1 = b + (j + 1) * k;
+      const float* __restrict__ b2 = b + (j + 2) * k;
+      const float* __restrict__ b3 = b + (j + 3) * k;
+      float acc0[kDotLanes] = {}, acc1[kDotLanes] = {};
+      float acc2[kDotLanes] = {}, acc3[kDotLanes] = {};
+      std::size_t kk = 0;
+      for (; kk + kDotLanes <= k; kk += kDotLanes) {
+        for (std::size_t l = 0; l < kDotLanes; ++l) {
+          const float av = ar[kk + l];
+          acc0[l] += av * b0[kk + l];
+          acc1[l] += av * b1[kk + l];
+          acc2[l] += av * b2[kk + l];
+          acc3[l] += av * b3[kk + l];
+        }
+      }
+      float s0 = reduce_dot_lanes(acc0), s1 = reduce_dot_lanes(acc1);
+      float s2 = reduce_dot_lanes(acc2), s3 = reduce_dot_lanes(acc3);
+      for (; kk < k; ++kk) {
+        const float av = ar[kk];
+        s0 += av * b0[kk];
+        s1 += av * b1[kk];
+        s2 += av * b2[kk];
+        s3 += av * b3[kk];
+      }
+      cr[j + 0] = s0;
+      cr[j + 1] = s1;
+      cr[j + 2] = s2;
+      cr[j + 3] = s3;
+    }
+    for (; j < n; ++j) {
+      const float* __restrict__ br = b + j * k;
+      float acc[kDotLanes] = {};
+      std::size_t kk = 0;
+      for (; kk + kDotLanes <= k; kk += kDotLanes) {
+        for (std::size_t l = 0; l < kDotLanes; ++l) acc[l] += ar[kk + l] * br[kk + l];
+      }
+      float s = reduce_dot_lanes(acc);
+      for (; kk < k; ++kk) s += ar[kk] * br[kk];
+      cr[j] = s;
     }
   }
 }
@@ -144,6 +388,91 @@ void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c) {
                                 shape_to_string(a.shape()) + " B" +
                                 shape_to_string(b.shape()) + " C" +
                                 shape_to_string(c.shape()));
+  }
+  gemm_nt(m, k, n, a.raw(), b.raw(), c.raw());
+}
+
+void gemm_tn(std::size_t m, std::size_t k, std::size_t n, const float* a,
+             const float* b, float* c) {
+  std::fill(c, c + k * n, 0.0f);
+  // Rank-kMr updates: the reduction dimension (m) is consumed in ascending
+  // blocks of kMr, so every C element sees one fixed association order.
+  std::size_t i = 0;
+  for (; i + kMr <= m; i += kMr) {
+    const float* __restrict__ a0 = a + (i + 0) * k;
+    const float* __restrict__ a1 = a + (i + 1) * k;
+    const float* __restrict__ a2 = a + (i + 2) * k;
+    const float* __restrict__ a3 = a + (i + 3) * k;
+    const float* __restrict__ b0 = b + (i + 0) * n;
+    const float* __restrict__ b1 = b + (i + 1) * n;
+    const float* __restrict__ b2 = b + (i + 2) * n;
+    const float* __restrict__ b3 = b + (i + 3) * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float v0 = a0[kk], v1 = a1[kk], v2 = a2[kk], v3 = a3[kk];
+      float* __restrict__ cr = c + kk * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        cr[j] += v0 * b0[j] + v1 * b1[j] + v2 * b2[j] + v3 * b3[j];
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    const float* __restrict__ ar = a + i * k;
+    const float* __restrict__ br = b + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float v = ar[kk];
+      float* __restrict__ cr = c + kk * n;
+      for (std::size_t j = 0; j < n; ++j) cr[j] += v * br[j];
+    }
+  }
+}
+
+void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c) {
+  require_matrix(a, "A");
+  require_matrix(b, "B");
+  require_matrix(c, "C");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != m || c.dim(0) != k || c.dim(1) != n) {
+    throw std::invalid_argument("gemm_tn: incompatible shapes A" +
+                                shape_to_string(a.shape()) + " B" +
+                                shape_to_string(b.shape()) + " C" +
+                                shape_to_string(c.shape()));
+  }
+  gemm_tn(m, k, n, a.raw(), b.raw(), c.raw());
+}
+
+// ---- Naive reference kernels (retained pre-optimization code) ----------
+
+namespace ref {
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& c) {
+  require_matrix(a, "A");
+  require_matrix(b, "B");
+  require_matrix(c, "C");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k || c.dim(0) != m || c.dim(1) != n) {
+    throw std::invalid_argument("ref::gemm: incompatible shapes");
+  }
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    std::fill(crow, crow + n, 0.0f);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aval = pa[i * k + kk];
+      const float* brow = pb + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c) {
+  require_matrix(a, "A");
+  require_matrix(b, "B");
+  require_matrix(c, "C");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k || c.dim(0) != m || c.dim(1) != n) {
+    throw std::invalid_argument("ref::gemm_nt: incompatible shapes");
   }
   const float* pa = a.raw();
   const float* pb = b.raw();
@@ -168,10 +497,7 @@ void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c) {
   require_matrix(c, "C");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   if (b.dim(0) != m || c.dim(0) != k || c.dim(1) != n) {
-    throw std::invalid_argument("gemm_tn: incompatible shapes A" +
-                                shape_to_string(a.shape()) + " B" +
-                                shape_to_string(b.shape()) + " C" +
-                                shape_to_string(c.shape()));
+    throw std::invalid_argument("ref::gemm_tn: incompatible shapes");
   }
   const float* pa = a.raw();
   const float* pb = b.raw();
@@ -182,12 +508,13 @@ void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c) {
     const float* brow = pb + i * n;
     for (std::size_t kk = 0; kk < k; ++kk) {
       const float aval = arow[kk];
-      if (aval == 0.0f) continue;
       float* crow = pc + kk * n;
       for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
     }
   }
 }
+
+}  // namespace ref
 
 void im2col(std::span<const float> image, const Conv2dGeometry& geo,
             std::span<float> columns) {
@@ -210,15 +537,25 @@ void im2col(std::span<const float> image, const Conv2dGeometry& geo,
         float* out_row = columns.data() + row * oh * ow;
         for (std::size_t y = 0; y < oh; ++y) {
           const long in_y = static_cast<long>(y * geo.stride + kh) - static_cast<long>(geo.pad);
+          if (in_y < 0 || in_y >= static_cast<long>(geo.in_h)) {
+            std::fill(out_row + y * ow, out_row + (y + 1) * ow, 0.0f);
+            continue;
+          }
+          const float* img_row =
+              image.data() + (c * geo.in_h + static_cast<std::size_t>(in_y)) * geo.in_w;
+          float* dst = out_row + y * ow;
+          if (geo.pad == 0 && geo.stride == 1) {
+            // Fast path: the kernel-window row is a contiguous slice.
+            std::copy(img_row + kw, img_row + kw + ow, dst);
+            continue;
+          }
           for (std::size_t x = 0; x < ow; ++x) {
             const long in_x = static_cast<long>(x * geo.stride + kw) - static_cast<long>(geo.pad);
             float v = 0.0f;
-            if (in_y >= 0 && in_y < static_cast<long>(geo.in_h) && in_x >= 0 &&
-                in_x < static_cast<long>(geo.in_w)) {
-              v = image[(c * geo.in_h + static_cast<std::size_t>(in_y)) * geo.in_w +
-                        static_cast<std::size_t>(in_x)];
+            if (in_x >= 0 && in_x < static_cast<long>(geo.in_w)) {
+              v = img_row[static_cast<std::size_t>(in_x)];
             }
-            out_row[y * ow + x] = v;
+            dst[x] = v;
           }
         }
       }

@@ -6,11 +6,30 @@
 //     of the paper are built directly from `dot`, `l2_norm`, and
 //     `cosine_similarity`).
 // All span-based functions require equal lengths and are checked.
+//
+// Accumulation policy (uniform across the optimized kernels):
+//   * All three GEMM variants accumulate in float. Each output element is
+//     produced by one fixed association order — k is consumed in blocks of
+//     kKc, unrolled in groups of four inside a block, with a sequential
+//     scalar tail — so results are bit-reproducible run to run and
+//     independent of how work is partitioned across threads (row blocks
+//     never split an output element's reduction).
+//   * Span reductions that feed virtual-time and FedCA-metric decisions
+//     (`dot`, `l2_norm`, `l1_norm`) accumulate in double over fixed-width
+//     lanes with a fixed tree combine, again bit-reproducible.
+// The naive kernels the optimized ones replaced are retained under
+// tensor::ref for property tests and benches; ref::gemm_nt keeps its
+// historical double accumulator.
 #pragma once
 
+#include <cstddef>
 #include <span>
 
 #include "tensor/tensor.hpp"
+
+namespace fedca::util {
+class ThreadPool;
+}
 
 namespace fedca::tensor {
 
@@ -37,6 +56,17 @@ double cosine_similarity(std::span<const float> x, std::span<const float> y);
 // the paper's statistical-progress metric (Eq. 1).
 double magnitude_similarity(std::span<const float> x, std::span<const float> y);
 
+// ---- Fused dense-layer helpers ----
+
+// out[r * bias.size() + j] += bias[j] for every row r in [0, rows).
+// `out` must have exactly rows * bias.size() elements.
+void bias_add(std::span<float> out, std::size_t rows, std::span<const float> bias);
+// out[j] += sum_r in[r * out.size() + j] — the column sums of a row-major
+// rows x out.size() matrix, *accumulated* into `out` (gradient convention:
+// callers zero the destination via Module::zero_grad). Rows are consumed in
+// ascending order, so the float association is fixed.
+void row_sum(std::span<const float> in, std::size_t rows, std::span<float> out);
+
 // ---- Tensor helpers ----
 
 // out = a + b (same shape)
@@ -46,14 +76,45 @@ Tensor sub(const Tensor& a, const Tensor& b);
 // a += alpha * b (same shape), in place.
 void add_scaled(Tensor& a, float alpha, const Tensor& b);
 
-// C = A(mxk) * B(kxn); all row-major 2-D tensors. C must be m x n and is
-// overwritten.
+// ---- GEMM ----
+//
+// Cache-blocked (Mc/Kc/Nc), register-tiled kernels with the fixed
+// association order described at the top of this header. Raw-pointer
+// variants are exposed so layers that already know their geometry (conv
+// im2col panels, per-sample slices) can avoid staging copies; the Tensor
+// overloads validate shapes and forward to them.
+
+// C(mxn) = A(mxk) * B(kxn); row-major, C overwritten.
+void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
+          const float* b, float* c);
 void gemm(const Tensor& a, const Tensor& b, Tensor& c);
-// C = A(mxk) * B(kxn)^T convenience variants used by dense backward passes.
-// C(mxn) = A(mxk) * B(nxk)^T
+// C(mxn) = A(mxk) * B(nxk)^T; row-major, C overwritten.
+void gemm_nt(std::size_t m, std::size_t k, std::size_t n, const float* a,
+             const float* b, float* c);
 void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c);
-// C(kxn) = A(mxk)^T * B(mxn)
+// C(kxn) = A(mxk)^T * B(mxn); row-major, C overwritten.
+void gemm_tn(std::size_t m, std::size_t k, std::size_t n, const float* a,
+             const float* b, float* c);
 void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c);
+
+// Opt-in pool-parallel row-block path for large GEMMs. When a pool is set,
+// `gemm` calls whose 2*m*k*n flop count reaches `min_flops` partition their
+// C rows across the pool. Bit-identical to the serial path: a C row's
+// reduction is never split across workers, so every element sees the same
+// association order. Off by default; enable explicitly (benches, offline
+// tools). Do NOT enable while the round engines train clients in parallel —
+// nested parallel_for on one pool can deadlock. Not thread-safe to mutate
+// concurrently with in-flight GEMMs; pass nullptr to disable.
+void set_gemm_threading(util::ThreadPool* pool, std::size_t min_flops = 1u << 22);
+
+// Naive reference kernels (the pre-optimization implementations), retained
+// verbatim for property tests and before/after benches. ref::gemm_nt keeps
+// the historical double accumulator.
+namespace ref {
+void gemm(const Tensor& a, const Tensor& b, Tensor& c);
+void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c);
+void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c);
+}  // namespace ref
 
 // ---- Convolution lowering ----
 

@@ -1,7 +1,9 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <exception>
 
 namespace fedca::util {
@@ -94,8 +96,61 @@ void ThreadPool::parallel_for(std::size_t n,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void ThreadPool::parallel_for_dynamic(std::size_t n,
+                                      const std::function<void(std::size_t)>& body,
+                                      std::size_t max_workers) {
+  if (n == 0) return;
+  std::size_t cap = max_workers == 0 ? worker_count() : std::min(max_workers, worker_count());
+  if (cap <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::size_t error_index;
+    std::exception_ptr error;
+    Shared(std::size_t n) : error_index(n) {}
+  };
+  Shared shared(n);
+  const std::size_t pumps = std::min(cap, n);
+  std::vector<std::future<void>> futures;
+  futures.reserve(pumps);
+  for (std::size_t p = 0; p < pumps; ++p) {
+    futures.push_back(submit([&shared, &body, n] {
+      for (;;) {
+        const std::size_t i = shared.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(shared.error_mutex);
+          if (i < shared.error_index) {
+            shared.error_index = i;
+            shared.error = std::current_exception();
+          }
+        }
+      }
+    }));
+  }
+  for (auto& fut : futures) fut.get();
+  if (shared.error) std::rethrow_exception(shared.error);
+}
+
+std::size_t ThreadPool::resolve_workers(std::size_t requested) {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("FEDCA_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
 ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool;
+  static ThreadPool pool(resolve_workers(0));
   return pool;
 }
 

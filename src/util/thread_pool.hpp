@@ -49,7 +49,25 @@ class ThreadPool {
   // and exception choice are deterministic.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
-  // Process-wide shared pool (lazily constructed, one per process).
+  // Like parallel_for, but hands indices out through an atomic counter so
+  // uneven work (clients whose local rounds differ wildly in cost) never
+  // serializes behind a static chunk, and caps concurrency at
+  // `max_workers` (0 = whole pool). Determinism contract: callers must
+  // write results into pre-sized per-index slots; scheduling then cannot
+  // affect output. Every index runs even if an earlier one throws, and the
+  // exception of the *lowest* throwing index is rethrown, so error
+  // behaviour is schedule-independent too. max_workers <= 1 (or a 1-worker
+  // pool, or n <= 1) runs inline on the calling thread in index order.
+  void parallel_for_dynamic(std::size_t n, const std::function<void(std::size_t)>& body,
+                            std::size_t max_workers = 0);
+
+  // Resolves a requested worker count: non-zero wins; otherwise the
+  // FEDCA_THREADS environment variable (when set to a positive integer);
+  // otherwise hardware concurrency. Always >= 1.
+  static std::size_t resolve_workers(std::size_t requested);
+
+  // Process-wide shared pool (lazily constructed, one per process). Sized
+  // by resolve_workers(0), i.e. FEDCA_THREADS caps/raises it.
   static ThreadPool& shared();
 
  private:

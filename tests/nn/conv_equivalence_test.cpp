@@ -1,0 +1,230 @@
+// Conv2d equivalence: the im2col+GEMM layer (with its recompute-in-backward
+// scratch buffers) against a naive direct convolution written out longhand,
+// plus clone()/batch-norm-buffer semantics used by the parallel engines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/conv2d.hpp"
+#include "nn/models.hpp"
+#include "nn/module.hpp"
+#include "nn/norm.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace fedca::nn {
+namespace {
+
+Tensor random_tensor(std::vector<std::size_t> shape, util::Rng& rng) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  return t;
+}
+
+// Direct convolution: out[s,oc,y,x] = bias[oc] + sum_{ic,ky,kx} w * in.
+Tensor direct_conv_forward(const Tensor& input, const Tensor& weight,
+                           const Tensor& bias, const tensor::Conv2dGeometry& geo,
+                           std::size_t out_c) {
+  const std::size_t n = input.dim(0);
+  const std::size_t oh = geo.out_h(), ow = geo.out_w();
+  Tensor out({n, out_c, oh, ow});
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t oc = 0; oc < out_c; ++oc) {
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x) {
+          double acc = bias.numel() > 0 ? bias[oc] : 0.0;
+          for (std::size_t ic = 0; ic < geo.in_channels; ++ic) {
+            for (std::size_t ky = 0; ky < geo.kernel_h; ++ky) {
+              for (std::size_t kx = 0; kx < geo.kernel_w; ++kx) {
+                const std::ptrdiff_t iy =
+                    static_cast<std::ptrdiff_t>(y * geo.stride + ky) -
+                    static_cast<std::ptrdiff_t>(geo.pad);
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(x * geo.stride + kx) -
+                    static_cast<std::ptrdiff_t>(geo.pad);
+                if (iy < 0 || ix < 0 ||
+                    iy >= static_cast<std::ptrdiff_t>(geo.in_h) ||
+                    ix >= static_cast<std::ptrdiff_t>(geo.in_w)) {
+                  continue;
+                }
+                const float w =
+                    weight[oc * geo.in_channels * geo.kernel_h * geo.kernel_w +
+                           ic * geo.kernel_h * geo.kernel_w + ky * geo.kernel_w + kx];
+                const float v =
+                    input[((s * geo.in_channels + ic) * geo.in_h +
+                           static_cast<std::size_t>(iy)) * geo.in_w +
+                          static_cast<std::size_t>(ix)];
+                acc += static_cast<double>(w) * static_cast<double>(v);
+              }
+            }
+          }
+          out[((s * out_c + oc) * oh + y) * ow + x] = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+struct ConvCase {
+  std::size_t in_c, out_c, h, w, kernel, stride, pad, batch;
+};
+
+TEST(ConvEquivalence, ForwardMatchesDirectConvolution) {
+  const ConvCase cases[] = {
+      {3, 6, 8, 8, 5, 1, 2, 3},   // LeNet-style, padded
+      {2, 4, 7, 9, 3, 2, 1, 2},   // non-square, strided
+      {1, 2, 6, 6, 1, 1, 0, 2},   // 1x1 kernel, no pad (im2col fast path)
+      {4, 3, 5, 5, 3, 1, 0, 1},   // valid conv
+  };
+  for (const ConvCase& cc : cases) {
+    util::Rng rng(0x77 + cc.kernel);
+    Conv2d conv("t", cc.in_c, cc.out_c, cc.h, cc.w, cc.kernel, cc.stride, cc.pad, rng);
+    Tensor input = random_tensor({cc.batch, cc.in_c, cc.h, cc.w}, rng);
+    Tensor got = conv.forward(input);
+
+    const tensor::Conv2dGeometry geo{cc.in_c, cc.h, cc.w, cc.kernel,
+                                     cc.kernel, cc.stride, cc.pad};
+    const auto params = conv.parameters();
+    const Tensor& weight = params[0]->value;
+    const Tensor& bias = params[1]->value;
+    Tensor expect = direct_conv_forward(input, weight, bias, geo, cc.out_c);
+    ASSERT_EQ(got.numel(), expect.numel());
+    const double tol = 1e-4;
+    for (std::size_t i = 0; i < got.numel(); ++i) {
+      ASSERT_NEAR(got[i], expect[i],
+                  tol * std::max(1.0, static_cast<double>(std::abs(expect[i]))))
+          << "element " << i;
+    }
+  }
+}
+
+TEST(ConvEquivalence, BackwardIsReproducibleAcrossBatchSizeChanges) {
+  // The scratch buffers are resized/reused across forward calls; gradients
+  // must be a pure function of (weights, input, grad), not buffer history.
+  util::Rng rng(0x99);
+  Conv2d conv("t", 3, 5, 8, 8, 3, 1, 1, rng);
+  util::Rng rng2(0x99);
+  Conv2d fresh("t", 3, 5, 8, 8, 3, 1, 1, rng2);
+
+  util::Rng data_rng(0x42);
+  Tensor warm = random_tensor({4, 3, 8, 8}, data_rng);  // warms conv's scratch
+  Tensor warm_grad = random_tensor({4, 5, 8, 8}, data_rng);
+  conv.forward(warm);
+  conv.backward(warm_grad);
+  conv.zero_grad();
+
+  Tensor input = random_tensor({2, 3, 8, 8}, data_rng);
+  Tensor grad = random_tensor({2, 5, 8, 8}, data_rng);
+  Tensor out_warm = conv.forward(input);
+  Tensor dx_warm = conv.backward(grad);
+  Tensor out_fresh = fresh.forward(input);
+  Tensor dx_fresh = fresh.backward(grad);
+
+  for (std::size_t i = 0; i < out_warm.numel(); ++i) {
+    ASSERT_EQ(out_warm[i], out_fresh[i]);
+  }
+  for (std::size_t i = 0; i < dx_warm.numel(); ++i) {
+    ASSERT_EQ(dx_warm[i], dx_fresh[i]);
+  }
+  const auto pw = conv.parameters();
+  const auto pf = fresh.parameters();
+  for (std::size_t p = 0; p < pw.size(); ++p) {
+    for (std::size_t i = 0; i < pw[p]->grad.numel(); ++i) {
+      ASSERT_EQ(pw[p]->grad[i], pf[p]->grad[i]);
+    }
+  }
+}
+
+TEST(ConvEquivalence, BackwardBatchMismatchStillThrows) {
+  util::Rng rng(0x31);
+  Conv2d conv("t", 2, 3, 6, 6, 3, 1, 1, rng);
+  Tensor input = random_tensor({3, 2, 6, 6}, rng);
+  conv.forward(input);
+  Tensor bad_grad({2, 3, 6, 6});
+  EXPECT_THROW(conv.backward(bad_grad), std::logic_error);
+}
+
+TEST(CloneSemantics, ClassifierCloneIsIndependent) {
+  util::Rng rng(0x1234);
+  Classifier model = build_model(ModelKind::kWrn, rng);
+  std::unique_ptr<Classifier> copy = model.clone();
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->info().actual_params, model.info().actual_params);
+
+  // Same forward output initially...
+  util::Rng data_rng(0x9);
+  Tensor input({2, 3, 16, 16});
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    input[i] = static_cast<float>(data_rng.normal(0.0, 1.0));
+  }
+  std::vector<int> labels = {1, 2};
+  model.set_training(true);
+  copy->set_training(true);
+  const double loss_a = model.compute_gradients(input, labels);
+  const double loss_b = copy->compute_gradients(input, labels);
+  EXPECT_EQ(loss_a, loss_b);
+
+  // ...and mutating the clone's parameters leaves the original untouched.
+  const auto orig = model.parameters();
+  const auto cloned = copy->parameters();
+  ASSERT_EQ(orig.size(), cloned.size());
+  const float before = orig[0]->value[0];
+  cloned[0]->value[0] += 1.0f;
+  EXPECT_EQ(orig[0]->value[0], before);
+}
+
+TEST(CloneSemantics, BufferCaptureRoundTripsBatchNormState) {
+  util::Rng rng(0x4321);
+  Classifier model = build_model(ModelKind::kWrn, rng);
+  std::vector<double> initial = capture_buffers(model.backbone());
+  ASSERT_FALSE(initial.empty());  // WRN has batch-norm running stats
+
+  // Train a step so the running stats move, then restore the snapshot.
+  util::Rng data_rng(0x8);
+  Tensor input({4, 3, 16, 16});
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    input[i] = static_cast<float>(data_rng.normal(0.0, 1.0));
+  }
+  model.set_training(true);
+  model.compute_gradients(input, {0, 1, 2, 3});
+  std::vector<double> moved = capture_buffers(model.backbone());
+  ASSERT_EQ(moved.size(), initial.size());
+  bool changed = false;
+  for (std::size_t i = 0; i < moved.size(); ++i) {
+    if (moved[i] != initial[i]) changed = true;
+  }
+  EXPECT_TRUE(changed);
+
+  load_buffers(model.backbone(), initial);
+  std::vector<double> restored = capture_buffers(model.backbone());
+  EXPECT_EQ(restored, initial);
+
+  // A clone carries the buffers it was cloned with, independently.
+  std::unique_ptr<Classifier> copy = model.clone();
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(capture_buffers(copy->backbone()), initial);
+  load_buffers(copy->backbone(), moved);
+  EXPECT_EQ(capture_buffers(model.backbone()), initial);  // original untouched
+
+  // Size mismatch is rejected.
+  std::vector<double> bad(initial.size() + 1, 0.0);
+  EXPECT_THROW(load_buffers(model.backbone(), bad), std::invalid_argument);
+}
+
+TEST(CloneSemantics, CnnAndLstmHaveNoBuffersAndClone) {
+  for (const ModelKind kind : {ModelKind::kCnn, ModelKind::kLstm}) {
+    util::Rng rng(7);
+    Classifier model = build_model(kind, rng);
+    EXPECT_TRUE(capture_buffers(model.backbone()).empty());
+    std::unique_ptr<Classifier> copy = model.clone();
+    ASSERT_NE(copy, nullptr);
+    EXPECT_EQ(copy->info().actual_params, model.info().actual_params);
+  }
+}
+
+}  // namespace
+}  // namespace fedca::nn

@@ -1,0 +1,175 @@
+// Property tests for the blocked GEMM kernels against the retained naive
+// references (tensor::ref), plus the fused dense-layer helpers and the
+// opt-in pool-parallel GEMM path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fedca::tensor {
+namespace {
+
+Tensor random_tensor(std::vector<std::size_t> shape, util::Rng& rng) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  return t;
+}
+
+// Mixed-accumulator comparison: the optimized kernels accumulate in float
+// (fixed order), the references partly in double, so results agree to
+// float rounding scaled by the reduction length.
+void expect_close(const Tensor& got, const Tensor& want, std::size_t k) {
+  ASSERT_EQ(got.numel(), want.numel());
+  const double tol = 1e-5 * std::sqrt(static_cast<double>(k) + 1.0);
+  for (std::size_t i = 0; i < got.numel(); ++i) {
+    const double scale = std::max(1.0, std::abs(static_cast<double>(want[i])));
+    ASSERT_NEAR(got[i], want[i], tol * scale) << "element " << i;
+  }
+}
+
+// Shape grid: every combination of tiny edge sizes and sizes straddling the
+// register-tile widths (kMr = 4 rows, 16-float dot lanes, 4-wide j-tiles).
+const std::size_t kSizes[] = {1, 2, 3, 5, 8, 17, 33, 64};
+
+TEST(GemmProperty, MatchesNaiveReference) {
+  util::Rng rng(0xC0FFEE);
+  for (const std::size_t m : kSizes) {
+    for (const std::size_t k : kSizes) {
+      for (const std::size_t n : kSizes) {
+        Tensor a = random_tensor({m, k}, rng);
+        Tensor b = random_tensor({k, n}, rng);
+        Tensor c({m, n});
+        Tensor expect({m, n});
+        gemm(a, b, c);
+        ref::gemm(a, b, expect);
+        expect_close(c, expect, k);
+      }
+    }
+  }
+}
+
+TEST(GemmProperty, GemmNtMatchesNaiveReference) {
+  util::Rng rng(0xBEEF);
+  for (const std::size_t m : kSizes) {
+    for (const std::size_t k : kSizes) {
+      for (const std::size_t n : kSizes) {
+        Tensor a = random_tensor({m, k}, rng);
+        Tensor b = random_tensor({n, k}, rng);
+        Tensor c({m, n});
+        Tensor expect({m, n});
+        gemm_nt(a, b, c);
+        ref::gemm_nt(a, b, expect);
+        expect_close(c, expect, k);
+      }
+    }
+  }
+}
+
+TEST(GemmProperty, GemmTnMatchesNaiveReference) {
+  util::Rng rng(0xD00D);
+  for (const std::size_t m : kSizes) {
+    for (const std::size_t k : kSizes) {
+      for (const std::size_t n : kSizes) {
+        Tensor a = random_tensor({m, k}, rng);
+        Tensor b = random_tensor({m, n}, rng);
+        Tensor c({k, n});
+        Tensor expect({k, n});
+        gemm_tn(a, b, c);
+        ref::gemm_tn(a, b, expect);
+        expect_close(c, expect, m);
+      }
+    }
+  }
+}
+
+TEST(GemmProperty, RandomizedNonSquareShapes) {
+  util::Rng rng(0x5EED);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_index(90));
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.uniform_index(90));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_index(90));
+    Tensor a = random_tensor({m, k}, rng);
+    Tensor b = random_tensor({k, n}, rng);
+    Tensor c({m, n});
+    Tensor expect({m, n});
+    gemm(a, b, c);
+    ref::gemm(a, b, expect);
+    expect_close(c, expect, k);
+  }
+}
+
+TEST(GemmProperty, DeterministicAcrossCalls) {
+  util::Rng rng(0xABCD);
+  Tensor a = random_tensor({37, 53}, rng);
+  Tensor b = random_tensor({53, 29}, rng);
+  Tensor c1({37, 29});
+  Tensor c2({37, 29});
+  gemm(a, b, c1);
+  gemm(a, b, c2);
+  for (std::size_t i = 0; i < c1.numel(); ++i) {
+    ASSERT_EQ(c1[i], c2[i]);  // bit-identical, not just close
+  }
+}
+
+TEST(GemmProperty, ThreadedGemmIsBitIdenticalToSerial) {
+  util::Rng rng(0xF00D);
+  Tensor a = random_tensor({96, 80}, rng);
+  Tensor b = random_tensor({80, 72}, rng);
+  Tensor serial({96, 72});
+  gemm(a, b, serial);
+
+  util::ThreadPool pool(4);
+  set_gemm_threading(&pool, /*min_flops=*/1);  // force the parallel path
+  Tensor threaded({96, 72});
+  gemm(a, b, threaded);
+  set_gemm_threading(nullptr);
+
+  for (std::size_t i = 0; i < serial.numel(); ++i) {
+    ASSERT_EQ(serial[i], threaded[i]) << "element " << i;
+  }
+}
+
+TEST(FusedHelpers, BiasAddMatchesManualLoop) {
+  util::Rng rng(0x11AA);
+  const std::size_t rows = 7, cols = 13;
+  Tensor out = random_tensor({rows, cols}, rng);
+  Tensor bias = random_tensor({cols}, rng);
+  Tensor expect = out;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t j = 0; j < cols; ++j) expect[r * cols + j] += bias[j];
+  }
+  bias_add(out.data(), rows, bias.data());
+  for (std::size_t i = 0; i < out.numel(); ++i) ASSERT_EQ(out[i], expect[i]);
+}
+
+TEST(FusedHelpers, RowSumAccumulatesColumnSums) {
+  util::Rng rng(0x22BB);
+  const std::size_t rows = 9, cols = 6;
+  Tensor in = random_tensor({rows, cols}, rng);
+  Tensor out = random_tensor({cols}, rng);  // pre-existing accumulation
+  Tensor expect = out;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t j = 0; j < cols; ++j) expect[j] += in[r * cols + j];
+  }
+  row_sum(in.data(), rows, out.data());
+  for (std::size_t j = 0; j < cols; ++j) {
+    ASSERT_NEAR(out[j], expect[j], 1e-5 * std::max(1.0f, std::abs(expect[j])));
+  }
+}
+
+TEST(FusedHelpers, RowSumZeroRowsIsNoOp) {
+  Tensor out({4});
+  out[0] = 1.0f; out[1] = 2.0f; out[2] = 3.0f; out[3] = 4.0f;
+  row_sum(std::span<const float>(), 0, out.data());
+  EXPECT_EQ(out[0], 1.0f);
+  EXPECT_EQ(out[3], 4.0f);
+}
+
+}  // namespace
+}  // namespace fedca::tensor

@@ -12,6 +12,15 @@ for b in build/bench/*; do
   "$b" csv_dir=/root/repo/results
 done 2>&1 | tee /root/repo/bench_output.txt
 
+# Kernel bench smoke: refresh BENCH_kernels.json (before/after numbers for
+# the blocked GEMM + parallel engine work). The kernel sources are compiled
+# -O3 regardless of the top-level build type; FEDCA_BENCH_KERNELS=0 skips.
+if [ "${FEDCA_BENCH_KERNELS:-1}" != "0" ]; then
+  echo "===== kernel benches ====="
+  python3 tools/bench_kernels.py --build build --out BENCH_kernels.json \
+    2>&1 | tee /root/repo/kernel_bench_output.txt
+fi
+
 # Observability smoke: a traced quickstart must produce a Chrome-trace file
 # that check_trace.py accepts, with the canonical span set present.
 echo "===== traced quickstart ====="
@@ -31,8 +40,10 @@ if [ "${FEDCA_TSAN:-1}" != "0" ]; then
   cmake -B build-tsan -S . -DFEDCA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     >>/root/repo/tsan_output.txt 2>&1 &&
   cmake --build build-tsan --target obs_metrics_test obs_trace_test \
-    fl_round_engine_test -j "$(nproc)" >>/root/repo/tsan_output.txt 2>&1 &&
-  for t in obs_metrics_test obs_trace_test fl_round_engine_test; do
+    fl_round_engine_test fl_parallel_determinism_test fl_async_engine_test \
+    -j "$(nproc)" >>/root/repo/tsan_output.txt 2>&1 &&
+  for t in obs_metrics_test obs_trace_test fl_round_engine_test \
+           fl_parallel_determinism_test fl_async_engine_test; do
     echo "--- $t (tsan) ---"
     "build-tsan/tests/$t" || exit 1
   done 2>&1 | tee -a /root/repo/tsan_output.txt
