@@ -33,15 +33,21 @@ Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
 }
 
 Batch Dataset::gather(const std::vector<std::size_t>& indices) const {
+  Batch batch;
+  gather_into(indices, batch);
+  return batch;
+}
+
+void Dataset::gather_into(const std::vector<std::size_t>& indices, Batch& out) const {
   const std::size_t stride = example_numel();
   Shape batch_shape = inputs_.shape();
   if (batch_shape.empty()) {
     throw std::logic_error("Dataset::gather on empty dataset");
   }
   batch_shape[0] = indices.size();
-  Batch batch;
-  batch.inputs = Tensor(batch_shape);
-  batch.labels.reserve(indices.size());
+  if (out.inputs.shape() != batch_shape) out.inputs = Tensor(batch_shape);
+  out.labels.clear();
+  out.labels.reserve(indices.size());
   for (std::size_t i = 0; i < indices.size(); ++i) {
     const std::size_t src = indices[i];
     if (src >= labels_.size()) {
@@ -49,10 +55,9 @@ Batch Dataset::gather(const std::vector<std::size_t>& indices) const {
                               " out of range");
     }
     std::copy(inputs_.raw() + src * stride, inputs_.raw() + (src + 1) * stride,
-              batch.inputs.raw() + i * stride);
-    batch.labels.push_back(labels_[src]);
+              out.inputs.raw() + i * stride);
+    out.labels.push_back(labels_[src]);
   }
-  return batch;
 }
 
 Batch Dataset::as_batch() const {

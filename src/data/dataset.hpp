@@ -39,6 +39,9 @@ class Dataset {
   Dataset subset(const std::vector<std::size_t>& indices) const;
   // Materializes a batch from `indices`.
   Batch gather(const std::vector<std::size_t>& indices) const;
+  // Same values as gather(), written into `out` (storage reused across
+  // calls — the round hot loop's allocation-free path).
+  void gather_into(const std::vector<std::size_t>& indices, Batch& out) const;
   // The whole dataset as one batch (for small eval sets).
   Batch as_batch() const;
 

@@ -18,14 +18,17 @@ BatchLoader::BatchLoader(const Dataset* dataset, std::size_t batch_size, util::R
   reshuffle();
 }
 
-Batch BatchLoader::next() {
-  std::vector<std::size_t> indices;
-  indices.reserve(batch_size_);
-  while (indices.size() < batch_size_) {
+Batch BatchLoader::next() { return next_batch(); }
+
+const Batch& BatchLoader::next_batch() {
+  scratch_indices_.clear();
+  scratch_indices_.reserve(batch_size_);
+  while (scratch_indices_.size() < batch_size_) {
     if (cursor_ >= order_.size()) reshuffle();
-    indices.push_back(order_[cursor_++]);
+    scratch_indices_.push_back(order_[cursor_++]);
   }
-  return dataset_->gather(indices);
+  dataset_->gather_into(scratch_indices_, batch_);
+  return batch_;
 }
 
 std::size_t BatchLoader::batches_per_epoch() const {

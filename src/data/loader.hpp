@@ -18,6 +18,10 @@ class BatchLoader {
 
   // Next minibatch (always exactly batch_size examples; epochs wrap).
   Batch next();
+  // Same sequence as next(), but returns a reference to an internal batch
+  // whose storage is reused across calls — the allocation-free training
+  // path. The reference is invalidated by the following next()/next_batch().
+  const Batch& next_batch();
 
   std::size_t batch_size() const { return batch_size_; }
   // Batches per full pass over the shard (ceiling).
@@ -31,6 +35,8 @@ class BatchLoader {
   util::Rng rng_;
   std::vector<std::size_t> order_;
   std::size_t cursor_ = 0;
+  std::vector<std::size_t> scratch_indices_;
+  Batch batch_;
 };
 
 }  // namespace fedca::data

@@ -7,6 +7,7 @@
 #include "nn/sgd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "tensor/pool.hpp"
 
 namespace fedca::fl {
 
@@ -79,11 +80,12 @@ void AsyncEngine::train_pending(InFlight& winner_flight, std::size_t winner) {
     model_->set_training(true);
     nn::SgdOptimizer optimizer(model_->parameters(), options_.optimizer);
     for (std::size_t it = 0; it < options_.local_iterations; ++it) {
-      const data::Batch batch = loaders_[winner].next();
+      const data::Batch& batch = loaders_[winner].next_batch();
       model_->compute_gradients(batch.inputs, batch.labels);
       optimizer.step();
     }
-    winner_flight.update = nn::state_sub(model_->state(), winner_flight.snapshot);
+    nn::capture_state_into(model_->parameters(), winner_flight.update);
+    nn::state_sub_inplace(winner_flight.update, winner_flight.snapshot);
     winner_flight.trained = true;
     winner_flight.snapshot = nn::ModelState{};
     return;
@@ -97,6 +99,8 @@ void AsyncEngine::train_pending(InFlight& winner_flight, std::size_t winner) {
   // virtual time only — worker-count invariant.
   std::vector<InFlight*> jobs;
   std::vector<std::size_t> ids;
+  jobs.reserve(in_flight_.size());
+  ids.reserve(in_flight_.size());
   jobs.push_back(&winner_flight);
   ids.push_back(winner);
   for (std::size_t c = 0; c < in_flight_.size(); ++c) {
@@ -116,11 +120,12 @@ void AsyncEngine::train_pending(InFlight& winner_flight, std::size_t winner) {
     replica->set_training(true);
     nn::SgdOptimizer optimizer(replica->parameters(), options_.optimizer);
     for (std::size_t it = 0; it < options_.local_iterations; ++it) {
-      const data::Batch batch = loaders_[ids[i]].next();
+      const data::Batch& batch = loaders_[ids[i]].next_batch();
       replica->compute_gradients(batch.inputs, batch.labels);
       optimizer.step();
     }
-    f.update = nn::state_sub(replica->state(), f.snapshot);
+    nn::capture_state_into(replica->parameters(), f.update);
+    nn::state_sub_inplace(f.update, f.snapshot);
     if (!base_buffers.empty()) f.buffers = nn::capture_buffers(replica->backbone());
     f.trained = true;
     f.snapshot = nn::ModelState{};  // no longer needed; free the copy
@@ -312,6 +317,9 @@ AsyncUpdateRecord AsyncEngine::step() {
   FEDCA_MCOUNT("async.updates", 1.0);
   FEDCA_MHISTO("async.staleness", 0.0, 64.0, 64,
                static_cast<double>(record.staleness));
+  if (obs::metrics_enabled() && tensor::BufferPool::enabled()) {
+    tensor::BufferPool::global().publish_metrics();
+  }
   if (obs::TraceCollector::global().enabled() && trace_pid_base_ != 0) {
     obs::TraceCollector::global().record_instant(
         trace_pid_base_, "apply_update", clock_,

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "tensor/pool.hpp"
 #include "util/logging.hpp"
 
 namespace fedca::fl {
@@ -37,6 +38,7 @@ std::vector<double> ExperimentResult::eager_iterations(bool effective_with_retra
 }
 
 ExperimentSetup make_setup(const ExperimentOptions& options, Scheme& scheme) {
+  tensor::BufferPool::configure_from_option(options.tensor_pool);
   util::Rng root(options.seed);
   util::Rng model_rng = root.fork(1);
   util::Rng data_rng = root.fork(2);

@@ -4,11 +4,11 @@
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
-#include <unordered_set>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/pool.hpp"
 #include "util/logging.hpp"
 
 namespace fedca::fl {
@@ -331,6 +331,9 @@ RoundRecord RoundEngine::run_round() {
   }
   FEDCA_MCOUNT("engine.rounds", 1.0);
   FEDCA_MHISTO("engine.round_seconds", 0.0, 600.0, 60, record.duration());
+  if (obs::metrics_enabled() && tensor::BufferPool::enabled()) {
+    tensor::BufferPool::global().publish_metrics();
+  }
 
   scheme_->observe_round(record);
   FEDCA_LOG_DEBUG("round_engine") << "round " << record.round_index << " done in "
@@ -448,18 +451,21 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
   const double train_start = download.end;
   double t = train_start;
   double loss_sum = 0.0;
-  std::unordered_set<std::size_t> eager_sent;
   std::size_t iterations = 0;
   bool stopped_early = false;
 
-  const std::vector<nn::Parameter*> params = model.parameters();
+  const std::vector<nn::Parameter*>& params = model.parameters();
+  // Flat flag array instead of a hash set: one allocation, O(1) queries.
+  std::vector<char> eager_sent(params.size(), 0);
 
   bool interrupted = false;
   for (std::size_t tau = 1; tau <= info.planned_iterations; ++tau) {
     const double iter_start = t;
     {
       FEDCA_KERNEL_SPAN("sgd.step");
-      const data::Batch batch = loaders_[client_id].next();
+      // Reference into the loader's reused batch storage — no per-iteration
+      // gather allocation.
+      const data::Batch& batch = loaders_[client_id].next_batch();
       loss_sum += model.compute_gradients(batch.inputs, batch.labels);
       optimizer.step();
     }
@@ -487,15 +493,19 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
     view.model = &model.backbone();
     const IterationDecision decision = policy.after_iteration(view);
 
+    if (!decision.eager_layers.empty()) {
+      result.eager.reserve(result.eager.size() + decision.eager_layers.size());
+    }
     for (const std::size_t layer : decision.eager_layers) {
       if (layer >= params.size()) {
         throw std::logic_error("policy requested eager transmission of bad layer index");
       }
-      if (!eager_sent.insert(layer).second) continue;  // at most once per round
+      if (eager_sent[layer]) continue;  // at most once per round
+      eager_sent[layer] = 1;
       EagerRecord eager;
       eager.layer = layer;
       eager.iteration = tau;
-      eager.value = tensor::sub(params[layer]->value, global_.tensors[layer]);
+      tensor::sub_into(params[layer]->value, global_.tensors[layer], eager.value);
       const double layer_bytes =
           compressor ? compressor->compress(eager.value, bytes_per_param)
                      : static_cast<double>(eager.value.numel()) * bytes_per_param;
@@ -575,16 +585,23 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
     return result;
   }
 
-  // 3. Final update, retransmission selection, and upload.
-  nn::ModelState final_update = nn::state_sub(model.state(), global_);
+  // 3. Final update, retransmission selection, and upload. Captured and
+  // subtracted in place — no intermediate ModelState materialization.
+  nn::ModelState final_update;
+  nn::capture_state_into(params, final_update);
+  nn::state_sub_inplace(final_update, global_);
   const std::vector<std::size_t> retrans =
       policy.select_retransmissions(final_update, result.eager);
-  std::unordered_set<std::size_t> retrans_set(retrans.begin(), retrans.end());
+  std::vector<char> retrans_flags(params.size(), 0);
+  for (const std::size_t layer : retrans) {
+    if (layer < retrans_flags.size()) retrans_flags[layer] = 1;
+  }
   // Recovery: an eager payload lost or corrupted in flight must ride the
   // final upload no matter what the Eq. 6 error-feedback check decided —
   // the server has nothing usable for that layer.
   for (const EagerRecord& eager : result.eager) {
-    if ((eager.lost || eager.truncated) && retrans_set.insert(eager.layer).second) {
+    if ((eager.lost || eager.truncated) && !retrans_flags[eager.layer]) {
+      retrans_flags[eager.layer] = 1;
       FEDCA_MCOUNT("engine.fault_retransmissions", 1.0);
       if (tracing) {
         tracer.record_instant(pid, "recovery.eager_retransmit", t,
@@ -595,7 +612,7 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
     }
   }
   for (EagerRecord& eager : result.eager) {
-    if (retrans_set.count(eager.layer) > 0) {
+    if (retrans_flags[eager.layer]) {
       eager.retransmitted = true;
       ++result.retransmitted_layers;
     }
@@ -603,8 +620,8 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
 
   double final_bytes = options_.upload_header_bytes;
   for (std::size_t layer = 0; layer < final_update.tensors.size(); ++layer) {
-    const bool eagerly_sent = eager_sent.count(layer) > 0;
-    const bool retransmit = retrans_set.count(layer) > 0;
+    const bool eagerly_sent = eager_sent[layer] != 0;
+    const bool retransmit = retrans_flags[layer] != 0;
     if (!eagerly_sent || retransmit) {
       if (compressor) {
         // The codec rewrites the layer to its decoded values: that is what

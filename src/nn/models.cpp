@@ -36,6 +36,7 @@ Classifier::Classifier(std::unique_ptr<Module> backbone, ModelInfo info)
     : backbone_(std::move(backbone)), info_(std::move(info)) {
   if (!backbone_) throw std::invalid_argument("Classifier: null backbone");
   info_.actual_params = parameter_count(*backbone_);
+  params_ = backbone_->parameters();
 }
 
 std::unique_ptr<Classifier> Classifier::clone() const {
@@ -51,7 +52,7 @@ std::unique_ptr<Classifier> Classifier::clone() const {
 Tensor Classifier::forward(const Tensor& inputs) { return backbone_->forward(inputs); }
 
 double Classifier::compute_gradients(const Tensor& inputs, const std::vector<int>& labels) {
-  backbone_->zero_grad();
+  for (Parameter* p : params_) p->grad.zero();
   Tensor logits = backbone_->forward(inputs);
   LossResult result = softmax_cross_entropy(logits, labels);
   backbone_->backward(result.grad_logits);

@@ -84,14 +84,22 @@ class Classifier {
   // engines then train serially on this one instance.
   std::unique_ptr<Classifier> clone() const;
 
-  std::vector<Parameter*> parameters() { return backbone_->parameters(); }
-  ModelState state() { return capture_state(*backbone_); }
-  void load(const ModelState& state) { load_state(*backbone_, state); }
+  // Flat parameter list, cached at construction (parameter pointers stay
+  // valid for the backbone's lifetime) — the hot loop reuses this instead
+  // of re-walking the module tree every call.
+  const std::vector<Parameter*>& parameters() { return params_; }
+  ModelState state() {
+    ModelState s;
+    capture_state_into(params_, s);
+    return s;
+  }
+  void load(const ModelState& state) { load_state(params_, state); }
   void set_training(bool training) { backbone_->set_training(training); }
 
  private:
   std::unique_ptr<Module> backbone_;
   ModelInfo info_;
+  std::vector<Parameter*> params_;
 };
 
 // Synthetic-input geometry shared between the model builders and the data

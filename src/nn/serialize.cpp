@@ -15,7 +15,7 @@ constexpr char kMagic[4] = {'F', 'C', 'A', '1'};
 // Sanity caps so malformed headers cannot trigger huge allocations.
 constexpr std::uint64_t kMaxLayers = 1u << 20;
 constexpr std::uint64_t kMaxNameLen = 4096;
-constexpr std::uint64_t kMaxDims = 16;
+constexpr std::uint64_t kMaxDims = tensor::Shape::kMaxRank;
 constexpr std::uint64_t kMaxNumel = 1ull << 33;  // 8G scalars
 
 void write_u64(std::ostream& out, std::uint64_t v) {

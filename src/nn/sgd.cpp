@@ -27,11 +27,15 @@ void SgdOptimizer::step() {
   }
   for (std::size_t k = 0; k < params_.size(); ++k) {
     Parameter& p = *params_[k];
-    for (std::size_t i = 0; i < p.value.numel(); ++i) {
-      float g = p.grad[i];
-      if (wd != 0.0f) g += wd * p.value[i];
-      if (use_prox) g += mu * (p.value[i] - prox_anchor_[k][i]);
-      p.value[i] -= lr * g;
+    const std::size_t n = p.value.numel();
+    float* value = p.value.raw();
+    const float* grad = p.grad.raw();
+    const float* anchor = use_prox ? prox_anchor_[k].raw() : nullptr;
+    for (std::size_t i = 0; i < n; ++i) {
+      float g = grad[i];
+      if (wd != 0.0f) g += wd * value[i];
+      if (anchor != nullptr) g += mu * (value[i] - anchor[i]);
+      value[i] -= lr * g;
     }
   }
 }

@@ -39,15 +39,31 @@ std::size_t ModelState::layer_index(const std::string& name) const {
 
 ModelState capture_state(Module& model) {
   ModelState state;
-  for (const Parameter* p : model.parameters()) {
-    state.names.push_back(p->name);
-    state.tensors.push_back(p->value);
-  }
+  capture_state_into(model, state);
   return state;
 }
 
+void capture_state_into(Module& model, ModelState& out) {
+  capture_state_into(model.parameters(), out);
+}
+
+void capture_state_into(const std::vector<Parameter*>& params, ModelState& out) {
+  if (out.names.size() != params.size()) {
+    out.names.clear();
+    out.names.reserve(params.size());
+    for (const Parameter* p : params) out.names.push_back(p->name);
+  }
+  out.tensors.resize(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    out.tensors[i] = params[i]->value;  // capacity-reusing copy-assign
+  }
+}
+
 void load_state(Module& model, const ModelState& state) {
-  const std::vector<Parameter*> params = model.parameters();
+  load_state(model.parameters(), state);
+}
+
+void load_state(const std::vector<Parameter*>& params, const ModelState& state) {
   if (params.size() != state.tensors.size()) {
     throw std::invalid_argument("load_state: layer count mismatch");
   }
@@ -61,14 +77,27 @@ void load_state(Module& model, const ModelState& state) {
 }
 
 ModelState state_sub(const ModelState& a, const ModelState& b) {
-  if (!a.same_layout(b)) throw std::invalid_argument("state_sub: layout mismatch");
   ModelState out;
-  out.names = a.names;
-  out.tensors.reserve(a.tensors.size());
-  for (std::size_t i = 0; i < a.tensors.size(); ++i) {
-    out.tensors.push_back(tensor::sub(a.tensors[i], b.tensors[i]));
-  }
+  state_sub_into(a, b, out);
   return out;
+}
+
+void state_sub_into(const ModelState& a, const ModelState& b, ModelState& out) {
+  if (!a.same_layout(b)) throw std::invalid_argument("state_sub: layout mismatch");
+  if (out.names.size() != a.names.size()) out.names = a.names;
+  out.tensors.resize(a.tensors.size());
+  for (std::size_t i = 0; i < a.tensors.size(); ++i) {
+    tensor::sub_into(a.tensors[i], b.tensors[i], out.tensors[i]);
+  }
+}
+
+void state_sub_inplace(ModelState& a, const ModelState& b) {
+  if (!a.same_layout(b)) {
+    throw std::invalid_argument("state_sub_inplace: layout mismatch");
+  }
+  for (std::size_t i = 0; i < a.tensors.size(); ++i) {
+    tensor::sub_inplace(a.tensors[i], b.tensors[i]);
+  }
 }
 
 void state_add_scaled(ModelState& a, float alpha, const ModelState& b) {

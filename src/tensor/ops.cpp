@@ -139,23 +139,52 @@ void row_sum(std::span<const float> in, std::size_t rows, std::span<float> out) 
 }
 
 Tensor add(const Tensor& a, const Tensor& b) {
-  if (!a.same_shape(b)) {
-    throw std::invalid_argument("add: shape mismatch " + shape_to_string(a.shape()) +
-                                " vs " + shape_to_string(b.shape()));
-  }
-  Tensor out(a.shape());
-  for (std::size_t i = 0; i < a.numel(); ++i) out[i] = a[i] + b[i];
+  Tensor out;
+  add_into(a, b, out);
   return out;
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  sub_into(a, b, out);
+  return out;
+}
+
+void add_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument("add: shape mismatch " + shape_to_string(a.shape()) +
+                                " vs " + shape_to_string(b.shape()));
+  }
+  if (!out.same_shape(a)) out = Tensor(a.shape());
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  const std::size_t n = a.numel();
+  for (std::size_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
+}
+
+void sub_into(const Tensor& a, const Tensor& b, Tensor& out) {
   if (!a.same_shape(b)) {
     throw std::invalid_argument("sub: shape mismatch " + shape_to_string(a.shape()) +
                                 " vs " + shape_to_string(b.shape()));
   }
-  Tensor out(a.shape());
-  for (std::size_t i = 0; i < a.numel(); ++i) out[i] = a[i] - b[i];
-  return out;
+  if (!out.same_shape(a)) out = Tensor(a.shape());
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  const std::size_t n = a.numel();
+  for (std::size_t i = 0; i < n; ++i) po[i] = pa[i] - pb[i];
+}
+
+void sub_inplace(Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument("sub: shape mismatch " + shape_to_string(a.shape()) +
+                                " vs " + shape_to_string(b.shape()));
+  }
+  float* pa = a.raw();
+  const float* pb = b.raw();
+  const std::size_t n = a.numel();
+  for (std::size_t i = 0; i < n; ++i) pa[i] -= pb[i];
 }
 
 void add_scaled(Tensor& a, float alpha, const Tensor& b) {

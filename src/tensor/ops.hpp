@@ -75,6 +75,13 @@ Tensor add(const Tensor& a, const Tensor& b);
 Tensor sub(const Tensor& a, const Tensor& b);
 // a += alpha * b (same shape), in place.
 void add_scaled(Tensor& a, float alpha, const Tensor& b);
+// Into-destination variants: write a+b / a-b into `out`, reusing its
+// storage when the shape already matches (no allocation in steady state).
+// Identical element order and arithmetic to add()/sub().
+void add_into(const Tensor& a, const Tensor& b, Tensor& out);
+void sub_into(const Tensor& a, const Tensor& b, Tensor& out);
+// a -= b (same shape), in place.
+void sub_inplace(Tensor& a, const Tensor& b);
 
 // ---- GEMM ----
 //

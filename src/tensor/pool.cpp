@@ -1,0 +1,301 @@
+#include "tensor/pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace fedca::tensor {
+namespace {
+
+// Power-of-two buckets from 64 floats (256 B) to 16M floats (64 MB). A
+// buffer cached in bucket b always has capacity >= bucket_floats(b), so a
+// pop + resize never reallocates.
+constexpr std::size_t kMinBucketLog = 6;
+constexpr std::size_t kMaxBucketLog = 24;
+constexpr std::size_t kNumBuckets = kMaxBucketLog - kMinBucketLog + 1;
+constexpr std::size_t kThreadCacheSlots = 4;   // per bucket, per thread
+constexpr std::size_t kGlobalCacheSlots = 64;  // per bucket, global tier
+
+std::size_t bucket_floats(std::size_t bucket) {
+  return std::size_t{1} << (kMinBucketLog + bucket);
+}
+
+// Smallest bucket whose size covers n floats; may be >= kNumBuckets when n
+// is larger than the top bucket (such buffers bypass the free lists).
+std::size_t bucket_for_request(std::size_t n) {
+  const std::size_t log = (n <= 1) ? 0 : std::bit_width(n - 1);  // ceil log2
+  return log <= kMinBucketLog ? 0 : log - kMinBucketLog;
+}
+
+// Largest bucket a buffer of this capacity can serve, or kNumBuckets when
+// the capacity is below the smallest bucket (discard).
+std::size_t bucket_for_capacity(std::size_t cap) {
+  if (cap < bucket_floats(0)) return kNumBuckets;
+  const std::size_t log = std::bit_width(cap) - 1;  // floor log2
+  return std::min(log - kMinBucketLog, kNumBuckets - 1);
+}
+
+std::atomic<int> g_enabled{-1};  // -1: env not consulted yet
+std::atomic<bool> g_poison{
+#ifndef NDEBUG
+    true
+#else
+    false
+#endif
+};
+
+std::atomic<std::uint64_t> g_hits{0};
+std::atomic<std::uint64_t> g_misses{0};
+std::atomic<std::uint64_t> g_releases{0};
+std::atomic<std::uint64_t> g_discards{0};
+std::atomic<std::size_t> g_bytes_held{0};
+
+bool env_truthy(const char* value) {
+  if (value == nullptr || value[0] == '\0') return false;
+  return std::strcmp(value, "0") != 0 && std::strcmp(value, "false") != 0 &&
+         std::strcmp(value, "off") != 0;
+}
+
+bool enabled_from_env() { return env_truthy(std::getenv("FEDCA_TENSOR_POOL")); }
+
+void note_cached(const std::vector<float>& buf) {
+  g_bytes_held.fetch_add(buf.capacity() * sizeof(float), std::memory_order_relaxed);
+}
+
+void note_uncached(const std::vector<float>& buf) {
+  g_bytes_held.fetch_sub(buf.capacity() * sizeof(float), std::memory_order_relaxed);
+}
+
+struct GlobalTier {
+  std::mutex mu;
+  std::vector<std::vector<float>> buckets[kNumBuckets];
+};
+
+GlobalTier& global_tier() {
+  static GlobalTier* tier = new GlobalTier();  // leaked: outlives all threads
+  return *tier;
+}
+
+// Accepts a buffer into the global tier (caller already bucketed it).
+// Returns false when the bucket is full and the buffer should be freed.
+bool global_put(std::size_t bucket, std::vector<float>&& buf) {
+  GlobalTier& tier = global_tier();
+  std::lock_guard<std::mutex> lock(tier.mu);
+  if (tier.buckets[bucket].size() >= kGlobalCacheSlots) return false;
+  tier.buckets[bucket].push_back(std::move(buf));
+  return true;
+}
+
+struct ThreadCache {
+  std::vector<float> slots[kNumBuckets][kThreadCacheSlots];
+  std::size_t counts[kNumBuckets] = {};
+
+  ~ThreadCache() { flush(); }
+
+  bool try_pop(std::size_t bucket, std::vector<float>& out) {
+    if (counts[bucket] == 0) return false;
+    out = std::move(slots[bucket][--counts[bucket]]);
+    return true;
+  }
+
+  bool try_put(std::size_t bucket, std::vector<float>&& buf) {
+    if (counts[bucket] >= kThreadCacheSlots) return false;
+    slots[bucket][counts[bucket]++] = std::move(buf);
+    return true;
+  }
+
+  // Hand everything to the global tier (drop what does not fit).
+  void flush() {
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+      while (counts[b] > 0) {
+        std::vector<float> buf = std::move(slots[b][--counts[b]]);
+        if (!global_put(b, std::move(buf))) {
+          note_uncached(buf);
+          g_discards.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+  void drop_all() {
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+      while (counts[b] > 0) {
+        std::vector<float> buf = std::move(slots[b][--counts[b]]);
+        note_uncached(buf);
+      }
+    }
+  }
+};
+
+ThreadCache& thread_cache() {
+  thread_local ThreadCache cache;
+  return cache;
+}
+
+// Pop a cached buffer able to hold n floats, or return false on miss.
+bool pool_pop(std::size_t n, std::vector<float>& out) {
+  const std::size_t bucket = bucket_for_request(n);
+  if (bucket >= kNumBuckets) return false;
+  if (thread_cache().try_pop(bucket, out)) {
+    note_uncached(out);
+    return true;
+  }
+  GlobalTier& tier = global_tier();
+  std::lock_guard<std::mutex> lock(tier.mu);
+  if (tier.buckets[bucket].empty()) return false;
+  out = std::move(tier.buckets[bucket].back());
+  tier.buckets[bucket].pop_back();
+  note_uncached(out);
+  return true;
+}
+
+}  // namespace
+
+BufferPool& BufferPool::global() {
+  static BufferPool* pool = new BufferPool();  // leaked singleton
+  return *pool;
+}
+
+bool BufferPool::enabled() {
+  const int v = g_enabled.load(std::memory_order_relaxed);
+  if (v >= 0) return v != 0;
+  const bool on = enabled_from_env();
+  int expected = -1;
+  g_enabled.compare_exchange_strong(expected, on ? 1 : 0);
+  return g_enabled.load(std::memory_order_relaxed) != 0;
+}
+
+void BufferPool::set_enabled(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void BufferPool::configure_from_option(int option) {
+  if (option >= 0) {
+    set_enabled(option != 0);
+  } else {
+    set_enabled(enabled_from_env());
+  }
+}
+
+std::vector<float> BufferPool::acquire(std::size_t n) {
+  std::vector<float> buf;
+  if (pool_pop(n, buf)) {
+    g_hits.fetch_add(1, std::memory_order_relaxed);
+    buf.resize(n);  // never reallocates: capacity >= bucket size >= n
+    return buf;
+  }
+  g_misses.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t bucket = bucket_for_request(n);
+  // Reserve the full bucket so the buffer re-enters the same bucket on
+  // release regardless of n.
+  buf.reserve(bucket < kNumBuckets ? bucket_floats(bucket) : n);
+  buf.resize(n);
+  return buf;
+}
+
+std::vector<float> BufferPool::acquire_filled(std::size_t n, float value) {
+  std::vector<float> buf;
+  if (pool_pop(n, buf)) {
+    g_hits.fetch_add(1, std::memory_order_relaxed);
+    buf.assign(n, value);  // writes every element: recycled contents are gone
+    return buf;
+  }
+  g_misses.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t bucket = bucket_for_request(n);
+  buf.reserve(bucket < kNumBuckets ? bucket_floats(bucket) : n);
+  buf.assign(n, value);
+  return buf;
+}
+
+void BufferPool::release(std::vector<float>&& buf) {
+  std::vector<float> victim = std::move(buf);
+  g_releases.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t bucket = bucket_for_capacity(victim.capacity());
+  if (bucket >= kNumBuckets) {
+    g_discards.fetch_add(1, std::memory_order_relaxed);
+    return;  // below the smallest bucket: let the destructor free it
+  }
+  if (debug_poison()) {
+    victim.resize(victim.capacity());
+    std::fill(victim.begin(), victim.end(),
+              std::numeric_limits<float>::quiet_NaN());
+  }
+  note_cached(victim);
+  if (thread_cache().try_put(bucket, std::move(victim))) return;
+  if (global_put(bucket, std::move(victim))) return;
+  note_uncached(victim);
+  g_discards.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BufferPool::clear() {
+  thread_cache().drop_all();
+  GlobalTier& tier = global_tier();
+  std::lock_guard<std::mutex> lock(tier.mu);
+  for (auto& bucket : tier.buckets) {
+    for (const auto& buf : bucket) note_uncached(buf);
+    bucket.clear();
+    bucket.shrink_to_fit();
+  }
+}
+
+void BufferPool::flush_thread_cache() { thread_cache().flush(); }
+
+PoolStats BufferPool::stats() const {
+  PoolStats s;
+  s.hits = g_hits.load(std::memory_order_relaxed);
+  s.misses = g_misses.load(std::memory_order_relaxed);
+  s.releases = g_releases.load(std::memory_order_relaxed);
+  s.discards = g_discards.load(std::memory_order_relaxed);
+  s.bytes_held = g_bytes_held.load(std::memory_order_relaxed);
+  return s;
+}
+
+void BufferPool::reset_stats() {
+  g_hits.store(0, std::memory_order_relaxed);
+  g_misses.store(0, std::memory_order_relaxed);
+  g_releases.store(0, std::memory_order_relaxed);
+  g_discards.store(0, std::memory_order_relaxed);
+}
+
+void BufferPool::publish_metrics() const {
+  const PoolStats s = stats();
+  FEDCA_MGAUGE("tensor.pool.hits", static_cast<double>(s.hits));
+  FEDCA_MGAUGE("tensor.pool.misses", static_cast<double>(s.misses));
+  FEDCA_MGAUGE("tensor.pool.bytes_held", static_cast<double>(s.bytes_held));
+}
+
+void BufferPool::set_debug_poison(bool on) {
+  g_poison.store(on, std::memory_order_relaxed);
+}
+
+bool BufferPool::debug_poison() {
+  return g_poison.load(std::memory_order_relaxed);
+}
+
+std::vector<float> pool_acquire(std::size_t n) {
+  if (n > 0 && BufferPool::enabled()) return BufferPool::global().acquire(n);
+  return std::vector<float>(n);
+}
+
+std::vector<float> pool_acquire_filled(std::size_t n, float value) {
+  if (n > 0 && BufferPool::enabled()) {
+    return BufferPool::global().acquire_filled(n, value);
+  }
+  return std::vector<float>(n, value);
+}
+
+void pool_release(std::vector<float>&& buf) {
+  if (!buf.empty() && BufferPool::enabled()) {
+    BufferPool::global().release(std::move(buf));
+  }
+  // Otherwise the moved-in vector frees on scope exit.
+}
+
+}  // namespace fedca::tensor

@@ -2,21 +2,98 @@
 //
 // This is the storage type underneath the neural-network substrate. Design
 // goals, in order: correctness, debuggability (bounds-checked at() in all
-// builds), and enough performance for laptop-scale federated experiments.
-// There is no view/aliasing machinery — every Tensor owns its buffer — which
-// keeps update accounting in the FL layer trivially correct.
+// builds, debug-asserted operator[]), and performance for the federated
+// round hot loop. There is no view/aliasing machinery — every Tensor owns
+// its buffer — which keeps update accounting in the FL layer trivially
+// correct. Buffers are acquired from and recycled through the tensor
+// BufferPool (pool.hpp) when it is enabled, so steady-state rounds reuse
+// storage instead of hitting the heap; shapes are stored inline (no heap)
+// up to Shape::kMaxRank dimensions.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <initializer_list>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
+
+// Cheap bounds assertions on the unchecked access paths: active in debug
+// builds, compiled out under NDEBUG.
+#ifndef NDEBUG
+#define FEDCA_TENSOR_DCHECK(cond) assert(cond)
+#else
+#define FEDCA_TENSOR_DCHECK(cond) ((void)0)
+#endif
 
 namespace fedca::tensor {
 
 // Shape of a tensor; empty shape denotes a scalar-less, empty tensor.
-using Shape = std::vector<std::size_t>;
+// Inline fixed-capacity sequence of dimensions with a vector-like surface.
+// Keeping dims inline means constructing a Tensor never allocates for its
+// shape — with the buffer pool on, a fresh Tensor is heap-free.
+class Shape {
+ public:
+  using value_type = std::size_t;
+  // Highest tensor rank the system supports ([N, C, H, W] is the deepest
+  // layout in use; 8 leaves headroom).
+  static constexpr std::size_t kMaxRank = 8;
+
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims) {
+    check_rank(dims.size());
+    for (const std::size_t d : dims) dims_[rank_++] = d;
+  }
+  // `rank` dimensions, all zero (mirrors std::vector's count constructor).
+  explicit Shape(std::size_t rank) : rank_(rank) { check_rank(rank); }
+  template <typename It>
+  Shape(It first, It last) {
+    for (; first != last; ++first) push_back(static_cast<std::size_t>(*first));
+  }
+
+  std::size_t size() const { return rank_; }
+  bool empty() const { return rank_ == 0; }
+  std::size_t& operator[](std::size_t i) {
+    FEDCA_TENSOR_DCHECK(i < rank_);
+    return dims_[i];
+  }
+  std::size_t operator[](std::size_t i) const {
+    FEDCA_TENSOR_DCHECK(i < rank_);
+    return dims_[i];
+  }
+  std::size_t* begin() { return dims_; }
+  std::size_t* end() { return dims_ + rank_; }
+  const std::size_t* begin() const { return dims_; }
+  const std::size_t* end() const { return dims_ + rank_; }
+  std::size_t front() const { return (*this)[0]; }
+  std::size_t back() const { return (*this)[rank_ - 1]; }
+
+  void push_back(std::size_t d) {
+    check_rank(rank_ + 1);
+    dims_[rank_++] = d;
+  }
+  void clear() { rank_ = 0; }
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    if (a.rank_ != b.rank_) return false;
+    for (std::size_t i = 0; i < a.rank_; ++i) {
+      if (a.dims_[i] != b.dims_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const Shape& a, const Shape& b) { return !(a == b); }
+
+ private:
+  static void check_rank(std::size_t rank) {
+    if (rank > kMaxRank) {
+      throw std::length_error("Shape: rank exceeds kMaxRank");
+    }
+  }
+
+  std::size_t rank_ = 0;
+  std::size_t dims_[kMaxRank] = {};
+};
 
 // Number of elements a shape describes (product of dims; 1-dim minimum not
 // enforced — an empty shape has 0 elements by convention here).
@@ -35,6 +112,13 @@ class Tensor {
   Tensor(Shape shape, float fill);
   // Tensor adopting existing data; data.size() must equal shape_numel(shape).
   Tensor(Shape shape, std::vector<float> data);
+
+  // Copies route the buffer through the pool; destruction recycles it.
+  Tensor(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(const Tensor& other);
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor();
 
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
   static Tensor full(Shape shape, float value) { return Tensor(std::move(shape), value); }
@@ -61,9 +145,15 @@ class Tensor {
   // Bounds-checked 2-D access (requires ndim() == 2).
   float& at(std::size_t row, std::size_t col);
   float at(std::size_t row, std::size_t col) const;
-  // Unchecked flat access for kernels.
-  float& operator[](std::size_t i) { return data_[i]; }
-  float operator[](std::size_t i) const { return data_[i]; }
+  // Unchecked flat access for kernels (asserted in debug builds).
+  float& operator[](std::size_t i) {
+    FEDCA_TENSOR_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    FEDCA_TENSOR_DCHECK(i < data_.size());
+    return data_[i];
+  }
 
   // Reinterprets the buffer with a new shape of equal numel.
   Tensor reshaped(Shape new_shape) const;

@@ -16,7 +16,7 @@
 namespace fedca::nn {
 namespace {
 
-Tensor random_tensor(std::vector<std::size_t> shape, util::Rng& rng) {
+Tensor random_tensor(tensor::Shape shape, util::Rng& rng) {
   Tensor t(std::move(shape));
   for (std::size_t i = 0; i < t.numel(); ++i) {
     t[i] = static_cast<float>(rng.normal(0.0, 1.0));

@@ -1,0 +1,191 @@
+// Buffer-pool correctness: recycling identity, bucket guarantees, the
+// per-thread cache / global tier handoff, debug poisoning of recycled
+// buffers, and the Tensor integration (same-shape churn reuses storage).
+#include "tensor/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fedca::tensor {
+namespace {
+
+// Every test runs with the pool freshly enabled and empty, and leaves the
+// process back in the pool-off state other suites expect.
+class PoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BufferPool::set_enabled(true);
+    BufferPool::global().clear();
+    BufferPool::global().reset_stats();
+  }
+  void TearDown() override {
+    BufferPool::global().clear();
+    BufferPool::set_enabled(false);
+    BufferPool::set_debug_poison(
+#ifndef NDEBUG
+        true
+#else
+        false
+#endif
+    );
+  }
+};
+
+TEST_F(PoolTest, AcquireReleaseRecyclesSameBuffer) {
+  std::vector<float> buf = pool_acquire(1000);
+  ASSERT_EQ(buf.size(), 1000u);
+  const float* data = buf.data();
+  pool_release(std::move(buf));
+
+  std::vector<float> again = pool_acquire(1000);
+  EXPECT_EQ(again.data(), data) << "same-size acquire must hit the thread cache";
+  const PoolStats stats = BufferPool::global().stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.releases, 1u);
+  pool_release(std::move(again));
+}
+
+TEST_F(PoolTest, BucketServesSmallerRequests) {
+  // A released 1000-float buffer lands in a bucket that must also serve any
+  // request up to the bucket size without reallocating.
+  std::vector<float> buf = pool_acquire(1000);
+  const float* data = buf.data();
+  pool_release(std::move(buf));
+
+  std::vector<float> smaller = pool_acquire(600);
+  EXPECT_EQ(smaller.data(), data);
+  EXPECT_EQ(smaller.size(), 600u);
+  pool_release(std::move(smaller));
+}
+
+TEST_F(PoolTest, AcquireFilledOverwritesRecycledContents) {
+  std::vector<float> buf = pool_acquire(256);
+  for (auto& v : buf) v = 123.0f;
+  pool_release(std::move(buf));
+
+  std::vector<float> filled = pool_acquire_filled(256, 7.5f);
+  for (const float v : filled) ASSERT_EQ(v, 7.5f);
+  pool_release(std::move(filled));
+}
+
+TEST_F(PoolTest, DebugPoisonMakesStaleReadsLoud) {
+  BufferPool::set_debug_poison(true);
+  std::vector<float> buf = pool_acquire(128);
+  for (auto& v : buf) v = 1.0f;
+  pool_release(std::move(buf));
+
+  // The recycled buffer's old contents must be gone (NaN-poisoned), so a
+  // read-before-write bug cannot silently see stale values.
+  std::vector<float> recycled = BufferPool::global().acquire(128);
+  for (const float v : recycled) ASSERT_TRUE(std::isnan(v));
+  pool_release(std::move(recycled));
+}
+
+TEST_F(PoolTest, ClearDropsEverythingAndZeroesBytesHeld) {
+  for (int i = 0; i < 4; ++i) {
+    std::vector<float> buf = pool_acquire(4096);
+    pool_release(std::move(buf));
+  }
+  EXPECT_GT(BufferPool::global().stats().bytes_held, 0u);
+  BufferPool::global().clear();
+  EXPECT_EQ(BufferPool::global().stats().bytes_held, 0u);
+
+  // Post-clear acquires are misses again, not stale hits.
+  BufferPool::global().reset_stats();
+  std::vector<float> buf = pool_acquire(4096);
+  EXPECT_EQ(BufferPool::global().stats().misses, 1u);
+  pool_release(std::move(buf));
+}
+
+TEST_F(PoolTest, ThreadCacheFlushesToGlobalTierOnThreadExit) {
+  const float* worker_data = nullptr;
+  std::thread worker([&] {
+    std::vector<float> buf = pool_acquire(2048);
+    worker_data = buf.data();
+    pool_release(std::move(buf));
+    // Thread exit flushes the thread cache into the global tier.
+  });
+  worker.join();
+
+  std::vector<float> buf = pool_acquire(2048);
+  EXPECT_EQ(buf.data(), worker_data)
+      << "buffer recycled on another thread must be reusable after its exit";
+  pool_release(std::move(buf));
+}
+
+TEST_F(PoolTest, ExplicitFlushSharesBuffersAcrossLiveThreads) {
+  std::vector<float> buf = pool_acquire(512);
+  const float* data = buf.data();
+  pool_release(std::move(buf));
+  BufferPool::global().flush_thread_cache();
+
+  const float* seen = nullptr;
+  std::thread worker([&] {
+    std::vector<float> got = pool_acquire(512);
+    seen = got.data();
+    pool_release(std::move(got));
+  });
+  worker.join();
+  EXPECT_EQ(seen, data);
+}
+
+TEST_F(PoolTest, DisabledPoolDegradesToPlainAllocation) {
+  BufferPool::set_enabled(false);
+  BufferPool::global().reset_stats();
+  std::vector<float> buf = pool_acquire(1024);
+  pool_release(std::move(buf));
+  const PoolStats stats = BufferPool::global().stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.releases, 0u);
+  EXPECT_EQ(stats.bytes_held, 0u);
+}
+
+TEST_F(PoolTest, ConfigureFromOptionThreeState) {
+  BufferPool::configure_from_option(1);
+  EXPECT_TRUE(BufferPool::enabled());
+  BufferPool::configure_from_option(0);
+  EXPECT_FALSE(BufferPool::enabled());
+  ::setenv("FEDCA_TENSOR_POOL", "1", 1);
+  BufferPool::configure_from_option(-1);
+  EXPECT_TRUE(BufferPool::enabled());
+  ::setenv("FEDCA_TENSOR_POOL", "0", 1);
+  BufferPool::configure_from_option(-1);
+  EXPECT_FALSE(BufferPool::enabled());
+  ::unsetenv("FEDCA_TENSOR_POOL");
+}
+
+TEST_F(PoolTest, TensorChurnReusesStorage) {
+  const float* data = nullptr;
+  {
+    Tensor t({64, 32});
+    data = t.raw();
+  }  // destructor releases the buffer into the pool
+  Tensor again({64, 32});
+  EXPECT_EQ(again.raw(), data);
+  for (std::size_t i = 0; i < again.numel(); ++i) {
+    ASSERT_EQ(again[i], 0.0f) << "zero-constructor must clear recycled memory";
+  }
+}
+
+TEST_F(PoolTest, TensorCopyAssignReusesCapacity) {
+  Tensor src({128});
+  for (std::size_t i = 0; i < src.numel(); ++i) src[i] = static_cast<float>(i);
+  Tensor dst({128});
+  const float* dst_data = dst.raw();
+  dst = src;
+  EXPECT_EQ(dst.raw(), dst_data) << "same-size copy-assign must not reallocate";
+  for (std::size_t i = 0; i < dst.numel(); ++i) {
+    ASSERT_EQ(dst[i], static_cast<float>(i));
+  }
+}
+
+}  // namespace
+}  // namespace fedca::tensor

@@ -21,6 +21,15 @@ if [ "${FEDCA_BENCH_KERNELS:-1}" != "0" ]; then
     2>&1 | tee /root/repo/kernel_bench_output.txt
 fi
 
+# Allocation bench: refresh BENCH_memory.json via the counting-allocator
+# harness (heap allocations per steady-state round, pool off vs on; fails
+# if the pool-on reduction drops below 10x). FEDCA_BENCH_MEMORY=0 skips.
+if [ "${FEDCA_BENCH_MEMORY:-1}" != "0" ]; then
+  echo "===== memory bench ====="
+  python3 tools/bench_memory.py --build build --out BENCH_memory.json \
+    2>&1 | tee /root/repo/memory_bench_output.txt
+fi
+
 # Observability smoke: a traced quickstart must produce a Chrome-trace file
 # that check_trace.py accepts, with the canonical span set present.
 echo "===== traced quickstart ====="
@@ -41,11 +50,13 @@ if [ "${FEDCA_TSAN:-1}" != "0" ]; then
     >>/root/repo/tsan_output.txt 2>&1 &&
   cmake --build build-tsan --target obs_metrics_test obs_trace_test \
     fl_round_engine_test fl_parallel_determinism_test fl_async_engine_test \
-    -j "$(nproc)" >>/root/repo/tsan_output.txt 2>&1 &&
+    tensor_pool_test -j "$(nproc)" >>/root/repo/tsan_output.txt 2>&1 &&
   for t in obs_metrics_test obs_trace_test fl_round_engine_test \
-           fl_parallel_determinism_test fl_async_engine_test; do
+           fl_parallel_determinism_test fl_async_engine_test tensor_pool_test; do
     echo "--- $t (tsan) ---"
-    "build-tsan/tests/$t" || exit 1
+    # FEDCA_TENSOR_POOL=1 routes every Tensor buffer through the pool's
+    # thread-cache/global-tier handoff while the engines run multithreaded.
+    FEDCA_TENSOR_POOL=1 "build-tsan/tests/$t" || exit 1
   done 2>&1 | tee -a /root/repo/tsan_output.txt
 fi
 
@@ -59,9 +70,11 @@ if [ "${FEDCA_ASAN:-1}" != "0" ]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     >>/root/repo/asan_output.txt 2>&1 &&
   cmake --build build-asan --target sim_fault_injection_test \
-    fl_robustness_test -j "$(nproc)" >>/root/repo/asan_output.txt 2>&1 &&
-  for t in sim_fault_injection_test fl_robustness_test; do
+    fl_robustness_test tensor_pool_test -j "$(nproc)" \
+    >>/root/repo/asan_output.txt 2>&1 &&
+  for t in sim_fault_injection_test fl_robustness_test tensor_pool_test; do
     echo "--- $t (asan+ubsan) ---"
-    "build-asan/tests/$t" || exit 1
+    # Pool on: recycled-buffer lifetime and poisoning run under ASan too.
+    FEDCA_TENSOR_POOL=1 "build-asan/tests/$t" || exit 1
   done 2>&1 | tee -a /root/repo/asan_output.txt
 fi
