@@ -40,7 +40,7 @@ void AsyncEngine::load_global_into_model() { model_->load(global_); }
 
 std::unique_ptr<nn::Classifier> AsyncEngine::acquire_replica() {
   {
-    std::lock_guard<std::mutex> lock(replica_mutex_);
+    util::MutexLock lock(replica_mutex_);
     if (!replicas_.empty()) {
       std::unique_ptr<nn::Classifier> replica = std::move(replicas_.back());
       replicas_.pop_back();
@@ -51,7 +51,7 @@ std::unique_ptr<nn::Classifier> AsyncEngine::acquire_replica() {
 }
 
 void AsyncEngine::release_replica(std::unique_ptr<nn::Classifier> replica) {
-  std::lock_guard<std::mutex> lock(replica_mutex_);
+  util::MutexLock lock(replica_mutex_);
   replicas_.push_back(std::move(replica));
 }
 

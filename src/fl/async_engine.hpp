@@ -23,7 +23,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -33,6 +32,8 @@
 #include "nn/sgd.hpp"
 #include "sim/cluster.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fedca::fl {
@@ -133,8 +134,8 @@ class AsyncEngine {
   // launch that finds the trace collector armed. 0 = not yet reserved.
   std::uint32_t trace_pid_base_ = 0;
   // Replica free-list for speculative parallel training.
-  std::mutex replica_mutex_;
-  std::vector<std::unique_ptr<nn::Classifier>> replicas_;
+  util::Mutex replica_mutex_;
+  std::vector<std::unique_ptr<nn::Classifier>> replicas_ FEDCA_GUARDED_BY(replica_mutex_);
   bool clone_checked_ = false;
   bool cloneable_ = false;
   std::unique_ptr<util::ThreadPool> own_pool_;

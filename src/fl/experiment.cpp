@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
-#include <unordered_map>
+#include <map>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -99,7 +99,12 @@ RoundSummary summarize(const RoundRecord& record) {
   summary.start_time = record.start_time;
   summary.end_time = record.end_time;
   summary.deadline = record.deadline;
-  std::unordered_map<std::size_t, double> collected;
+  // Ordered map, not unordered: this is an output-affecting path (the
+  // summaries land in result tables), and the lint_fedca unordered-iter
+  // rule bans hash containers here — lookup-only today is one range-for
+  // away from hash-order output tomorrow. Size is O(participants), so the
+  // tree map costs nothing measurable.
+  std::map<std::size_t, double> collected;
   for (std::size_t k = 0; k < record.collected.size(); ++k) {
     collected.emplace(record.collected[k],
                       k < record.collected_weights.size()

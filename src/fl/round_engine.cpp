@@ -58,7 +58,7 @@ void RoundEngine::load_global_into_model() { model_->load(global_); }
 
 std::unique_ptr<nn::Classifier> RoundEngine::acquire_replica() {
   {
-    std::lock_guard<std::mutex> lock(replica_mutex_);
+    util::MutexLock lock(replica_mutex_);
     if (!replicas_.empty()) {
       std::unique_ptr<nn::Classifier> replica = std::move(replicas_.back());
       replicas_.pop_back();
@@ -70,7 +70,7 @@ std::unique_ptr<nn::Classifier> RoundEngine::acquire_replica() {
 }
 
 void RoundEngine::release_replica(std::unique_ptr<nn::Classifier> replica) {
-  std::lock_guard<std::mutex> lock(replica_mutex_);
+  util::MutexLock lock(replica_mutex_);
   replicas_.push_back(std::move(replica));
 }
 

@@ -26,7 +26,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -37,6 +36,8 @@
 #include "nn/models.hpp"
 #include "sim/cluster.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fedca::fl {
@@ -129,8 +130,8 @@ class RoundEngine {
   std::vector<char> crash_reported_;
   // Replica free-list for parallel client training. `cloneable_` caches the
   // first clone() attempt's verdict.
-  std::mutex replica_mutex_;
-  std::vector<std::unique_ptr<nn::Classifier>> replicas_;
+  util::Mutex replica_mutex_;
+  std::vector<std::unique_ptr<nn::Classifier>> replicas_ FEDCA_GUARDED_BY(replica_mutex_);
   bool clone_checked_ = false;
   bool cloneable_ = false;
   std::unique_ptr<util::ThreadPool> own_pool_;

@@ -60,6 +60,11 @@ HistogramMetric::HistogramMetric(double lo, double hi, std::size_t bins)
 }
 
 void HistogramMetric::record(double v) {
+  // The whole bin computation runs under the lock: counts_ is guarded, and
+  // although its size never changes after construction, reading it outside
+  // the lock would be exactly the kind of "works today" exception the
+  // static analysis exists to forbid.
+  util::MutexLock lock(mutex_);
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   std::size_t bin = 0;
   if (v >= hi_) {
@@ -68,13 +73,16 @@ void HistogramMetric::record(double v) {
     bin = static_cast<std::size_t>((v - lo_) / width);
     bin = std::min(bin, counts_.size() - 1);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
   ++counts_[bin];
   stats_.add(v);
 }
 
 double HistogramMetric::quantile(double q) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
+  return quantile_locked(q);
+}
+
+double HistogramMetric::quantile_locked(double q) const {
   const std::uint64_t total = stats_.count();
   if (total == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
@@ -94,13 +102,23 @@ double HistogramMetric::quantile(double q) const {
 }
 
 util::RunningStats HistogramMetric::summary() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return stats_;
 }
 
 std::size_t HistogramMetric::count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return stats_.count();
+}
+
+HistogramSnapshot HistogramMetric::snapshot() const {
+  util::MutexLock lock(mutex_);
+  HistogramSnapshot snap;
+  snap.stats = stats_;
+  snap.p50 = quantile_locked(0.50);
+  snap.p90 = quantile_locked(0.90);
+  snap.p99 = quantile_locked(0.99);
+  return snap;
 }
 
 MetricsRegistry& MetricsRegistry::global() {
@@ -109,14 +127,14 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -124,14 +142,14 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo,
                                             double hi, std::size_t bins) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<HistogramMetric>(lo, hi, bins);
   return *slot;
 }
 
 std::vector<MetricRow> MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<MetricRow> rows;
   rows.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, c] : counters_) {
@@ -151,17 +169,21 @@ std::vector<MetricRow> MetricsRegistry::snapshot() const {
     rows.push_back(std::move(row));
   }
   for (const auto& [name, h] : histograms_) {
-    const util::RunningStats stats = h->summary();
+    // One lock per histogram: summary and percentiles are captured at the
+    // same instant, so a concurrently recording worker cannot produce a row
+    // whose count disagrees with its percentiles (the old code took four
+    // separate locks here).
+    const HistogramSnapshot snap = h->snapshot();
     MetricRow row;
     row.name = name;
     row.kind = "histogram";
-    row.value = stats.mean();
-    row.count = stats.count();
-    row.min = stats.min();
-    row.max = stats.max();
-    row.p50 = h->quantile(0.50);
-    row.p90 = h->quantile(0.90);
-    row.p99 = h->quantile(0.99);
+    row.value = snap.stats.mean();
+    row.count = snap.stats.count();
+    row.min = snap.stats.min();
+    row.max = snap.stats.max();
+    row.p50 = snap.p50;
+    row.p90 = snap.p90;
+    row.p99 = snap.p99;
     rows.push_back(std::move(row));
   }
   std::sort(rows.begin(), rows.end(),
@@ -204,7 +226,7 @@ void MetricsRegistry::save(const std::string& path) const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -19,12 +19,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "util/stats.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace fedca::util {
 class ThreadPool;
@@ -59,6 +60,16 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+// Single-lock view of a histogram: summary statistics and the exported
+// percentiles captured at the same instant (one mutex acquisition), so a
+// concurrent record() can never tear count apart from p50/p90/p99.
+struct HistogramSnapshot {
+  util::RunningStats stats;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
 class HistogramMetric {
  public:
   HistogramMetric(double lo, double hi, std::size_t bins);
@@ -70,13 +81,17 @@ class HistogramMetric {
   double quantile(double q) const;
   util::RunningStats summary() const;
   std::size_t count() const;
+  // Summary + p50/p90/p99 under one lock (what the registry exports).
+  HistogramSnapshot snapshot() const;
 
  private:
+  double quantile_locked(double q) const FEDCA_REQUIRES(mutex_);
+
   double lo_;
   double hi_;
-  mutable std::mutex mutex_;
-  std::vector<std::uint64_t> counts_;
-  util::RunningStats stats_;
+  mutable util::Mutex mutex_;
+  std::vector<std::uint64_t> counts_ FEDCA_GUARDED_BY(mutex_);
+  util::RunningStats stats_ FEDCA_GUARDED_BY(mutex_);
 };
 
 // One exported metric, flattened for the writers.
@@ -115,10 +130,11 @@ class MetricsRegistry {
   void reset();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ FEDCA_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ FEDCA_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_
+      FEDCA_GUARDED_BY(mutex_);
 };
 
 // Wires `pool`'s task-latency observer to the global registry: histograms

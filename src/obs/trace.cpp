@@ -68,7 +68,7 @@ void TraceCollector::set_enabled(bool enabled) {
 void TraceCollector::set_output_path(std::string path) {
   bool arm = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     path_ = std::move(path);
     arm = !path_.empty();
   }
@@ -76,7 +76,7 @@ void TraceCollector::set_output_path(std::string path) {
 }
 
 std::string TraceCollector::output_path() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return path_;
 }
 
@@ -85,19 +85,19 @@ void TraceCollector::set_kernel_detail(bool on) {
 }
 
 std::uint32_t TraceCollector::allocate_process_ids(std::uint32_t n) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const std::uint32_t base = next_pid_;
   next_pid_ += n;
   return base;
 }
 
 void TraceCollector::set_process_name(std::uint32_t pid, std::string name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   process_names_[pid] = std::move(name);
 }
 
 void TraceCollector::push(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   events_.push_back(std::move(event));
 }
 
@@ -153,17 +153,17 @@ double TraceCollector::wall_now_seconds() {
 }
 
 std::size_t TraceCollector::event_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return events_.size();
 }
 
 std::vector<TraceEvent> TraceCollector::snapshot_events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return events_;
 }
 
-const std::map<std::uint32_t, std::string> TraceCollector::process_names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+std::map<std::uint32_t, std::string> TraceCollector::process_names() const {
+  util::MutexLock lock(mutex_);
   return process_names_;
 }
 
@@ -171,7 +171,7 @@ void TraceCollector::write_chrome_json(std::ostream& os) const {
   std::vector<TraceEvent> events;
   std::map<std::uint32_t, std::string> names;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     events = events_;
     names = process_names_;
   }
@@ -189,7 +189,7 @@ void TraceCollector::write_chrome_json(std::ostream& os) const {
     if (!first) os << ",\n";
     first = false;
   };
-  if (!names.count(kWallClockPid)) {
+  if (!names.contains(kWallClockPid)) {
     names[kWallClockPid] = "host (wall clock)";
   }
   for (const auto& [pid, name] : names) {
@@ -237,7 +237,7 @@ bool TraceCollector::flush() const {
 void TraceCollector::reset() {
   set_enabled(false);
   set_kernel_detail(false);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   events_.clear();
   process_names_.clear();
   next_pid_ = 1;

@@ -24,11 +24,13 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace fedca::obs {
 
@@ -86,7 +88,7 @@ class TraceCollector {
 
   std::size_t event_count() const;
   std::vector<TraceEvent> snapshot_events() const;
-  const std::map<std::uint32_t, std::string> process_names() const;
+  std::map<std::uint32_t, std::string> process_names() const;
 
   // Serializes metadata + events (sorted by pid, tid, ts) as a Chrome
   // trace JSON array.
@@ -103,11 +105,11 @@ class TraceCollector {
 
   std::atomic<bool> enabled_{false};
   std::atomic<bool> kernel_detail_{false};
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
-  std::map<std::uint32_t, std::string> process_names_;
-  std::uint32_t next_pid_ = 1;
-  std::string path_;
+  mutable util::Mutex mutex_;
+  std::vector<TraceEvent> events_ FEDCA_GUARDED_BY(mutex_);
+  std::map<std::uint32_t, std::string> process_names_ FEDCA_GUARDED_BY(mutex_);
+  std::uint32_t next_pid_ FEDCA_GUARDED_BY(mutex_) = 1;
+  std::string path_ FEDCA_GUARDED_BY(mutex_);
 };
 
 // RAII wall-clock span: measures a real-work region with the steady clock

@@ -6,10 +6,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
-#include <mutex>
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace fedca::tensor {
 namespace {
@@ -74,8 +75,8 @@ void note_uncached(const std::vector<float>& buf) {
 }
 
 struct GlobalTier {
-  std::mutex mu;
-  std::vector<std::vector<float>> buckets[kNumBuckets];
+  util::Mutex mu;
+  std::vector<std::vector<float>> buckets[kNumBuckets] FEDCA_GUARDED_BY(mu);
 };
 
 GlobalTier& global_tier() {
@@ -87,7 +88,7 @@ GlobalTier& global_tier() {
 // Returns false when the bucket is full and the buffer should be freed.
 bool global_put(std::size_t bucket, std::vector<float>&& buf) {
   GlobalTier& tier = global_tier();
-  std::lock_guard<std::mutex> lock(tier.mu);
+  util::MutexLock lock(tier.mu);
   if (tier.buckets[bucket].size() >= kGlobalCacheSlots) return false;
   tier.buckets[bucket].push_back(std::move(buf));
   return true;
@@ -148,7 +149,7 @@ bool pool_pop(std::size_t n, std::vector<float>& out) {
     return true;
   }
   GlobalTier& tier = global_tier();
-  std::lock_guard<std::mutex> lock(tier.mu);
+  util::MutexLock lock(tier.mu);
   if (tier.buckets[bucket].empty()) return false;
   out = std::move(tier.buckets[bucket].back());
   tier.buckets[bucket].pop_back();
@@ -237,7 +238,7 @@ void BufferPool::release(std::vector<float>&& buf) {
 void BufferPool::clear() {
   thread_cache().drop_all();
   GlobalTier& tier = global_tier();
-  std::lock_guard<std::mutex> lock(tier.mu);
+  util::MutexLock lock(tier.mu);
   for (auto& bucket : tier.buckets) {
     for (const auto& buf : bucket) note_uncached(buf);
     bucket.clear();

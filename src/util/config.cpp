@@ -41,7 +41,7 @@ void Config::set(const std::string& key, std::string value) {
 }
 
 bool Config::contains(const std::string& key) const {
-  return values_.count(to_lower(key)) > 0;
+  return values_.contains(to_lower(key));
 }
 
 std::string Config::get_string(const std::string& key, const std::string& fallback) const {

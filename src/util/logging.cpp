@@ -3,14 +3,15 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/sync.hpp"
 
 namespace fedca::util {
 
 namespace {
 
 std::atomic<int> g_level{-1};  // -1: not yet initialized from environment.
-std::mutex g_write_mutex;
+Mutex g_write_mutex;
 std::atomic<LogSink> g_sink{nullptr};
 
 LogLevel level_from_env() {
@@ -72,11 +73,11 @@ namespace detail {
 
 void emit_line(LogLevel level, std::string_view component, std::string_view message) {
   if (const LogSink sink = g_sink.load(std::memory_order_relaxed)) {
-    std::lock_guard<std::mutex> lock(g_write_mutex);
+    MutexLock lock(g_write_mutex);
     sink(level, component, message);
     return;
   }
-  std::lock_guard<std::mutex> lock(g_write_mutex);
+  MutexLock lock(g_write_mutex);
   std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
                static_cast<int>(log_level_name(level).size()), log_level_name(level).data(),
                static_cast<int>(component.size()), component.data(),

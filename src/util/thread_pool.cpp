@@ -20,7 +20,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -30,7 +30,7 @@ ThreadPool::~ThreadPool() {
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::shared_ptr<const TaskObserver> observer;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     observer = observer_;
   }
   if (observer) {
@@ -54,7 +54,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> fut = packaged.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(packaged));
   }
   cv_.notify_one();
@@ -62,7 +62,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::set_task_observer(TaskObserver observer) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   observer_ = observer ? std::make_shared<const TaskObserver>(std::move(observer))
                        : nullptr;
 }
@@ -107,9 +107,9 @@ void ThreadPool::parallel_for_dynamic(std::size_t n,
   }
   struct Shared {
     std::atomic<std::size_t> next{0};
-    std::mutex error_mutex;
-    std::size_t error_index;
-    std::exception_ptr error;
+    Mutex error_mutex;
+    std::size_t error_index FEDCA_GUARDED_BY(error_mutex);
+    std::exception_ptr error FEDCA_GUARDED_BY(error_mutex);
     Shared(std::size_t n) : error_index(n) {}
   };
   Shared shared(n);
@@ -124,7 +124,7 @@ void ThreadPool::parallel_for_dynamic(std::size_t n,
         try {
           body(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(shared.error_mutex);
+          MutexLock lock(shared.error_mutex);
           if (i < shared.error_index) {
             shared.error_index = i;
             shared.error = std::current_exception();
@@ -134,7 +134,14 @@ void ThreadPool::parallel_for_dynamic(std::size_t n,
     }));
   }
   for (auto& fut : futures) fut.get();
-  if (shared.error) std::rethrow_exception(shared.error);
+  // All workers have joined, but take the lock anyway: it costs nothing
+  // here and keeps the guarded-access discipline exception-free.
+  std::exception_ptr error;
+  {
+    MutexLock lock(shared.error_mutex);
+    error = shared.error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 std::size_t ThreadPool::resolve_workers(std::size_t requested) {
@@ -158,8 +165,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      // Plain predicate loop (not a lambda handed to the cv): the guarded
+      // reads of stop_/queue_ stay inside this annotated scope.
+      while (!stop_ && queue_.empty()) cv_.wait(mutex_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();

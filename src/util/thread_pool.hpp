@@ -7,15 +7,16 @@
 // pool only changes wall-clock time, never experiment output.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace fedca::util {
 
@@ -73,12 +74,14 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  // Immutable after the constructor returns (workers only read their own
+  // entry via `this`); not guarded.
   std::vector<std::thread> threads_;
-  std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  std::shared_ptr<const TaskObserver> observer_;  // guarded by mutex_
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::packaged_task<void()>> queue_ FEDCA_GUARDED_BY(mutex_);
+  bool stop_ FEDCA_GUARDED_BY(mutex_) = false;
+  std::shared_ptr<const TaskObserver> observer_ FEDCA_GUARDED_BY(mutex_);
 };
 
 }  // namespace fedca::util

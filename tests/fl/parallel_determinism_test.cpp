@@ -39,6 +39,8 @@ struct RoundRunOutput {
   nn::ModelState global;
   std::vector<double> arrivals;
   std::vector<double> losses;
+  std::vector<std::size_t> collected;        // collection order, per round
+  std::vector<double> collected_weights;
   double end_time = 0.0;
 };
 
@@ -66,6 +68,11 @@ RoundRunOutput run_rounds(nn::ModelKind model, std::uint64_t seed,
       out.arrivals.push_back(c.arrival_time);
       out.losses.push_back(c.mean_local_loss);
     }
+    out.collected.insert(out.collected.end(), record.collected.begin(),
+                         record.collected.end());
+    out.collected_weights.insert(out.collected_weights.end(),
+                                 record.collected_weights.begin(),
+                                 record.collected_weights.end());
     out.end_time = record.end_time;
   }
   out.global = setup.engine->global_state();
@@ -84,7 +91,49 @@ TEST(ParallelDeterminism, RoundEngineCnnSweepOverSeeds) {
         ASSERT_EQ(base.arrivals[i], got.arrivals[i]) << "seed " << seed;
         ASSERT_EQ(base.losses[i], got.losses[i]) << "seed " << seed;
       }
+      // Collection ORDER (not just membership) must be schedule-independent:
+      // these vectors feed aggregation weights and the experiment summaries.
+      ASSERT_EQ(base.collected, got.collected) << "seed " << seed;
+      ASSERT_EQ(base.collected_weights, got.collected_weights)
+          << "seed " << seed;
       ASSERT_EQ(base.end_time, got.end_time) << "seed " << seed;
+    }
+  }
+}
+
+// Regression for the summarize() ordering fix (src/fl/experiment.cpp): the
+// per-client collected flags/weights in RoundSummary are built through an
+// ORDERED map keyed by client id, so the summary table is byte-identical
+// across worker counts. Before the fix the intermediate container was
+// unordered — lookup-only, but one refactor away from hash-order output
+// (exactly what the lint_fedca unordered-iter rule now rejects).
+TEST(ParallelDeterminism, ExperimentSummaryCollectionStableAcrossWorkers) {
+  fl::ExperimentOptions options;
+  options.model = nn::ModelKind::kCnn;
+  options.num_clients = 5;
+  options.local_iterations = 3;
+  options.batch_size = 8;
+  options.train_samples = 250;
+  options.test_samples = 32;
+  options.max_rounds = 2;
+  options.seed = 1234;
+
+  std::vector<std::pair<bool, double>> base_collected;
+  for (const std::size_t workers : kWorkerCounts) {
+    options.worker_threads = workers;
+    fl::FedAvgScheme scheme;
+    const fl::ExperimentResult result = fl::run_experiment(options, scheme);
+    std::vector<std::pair<bool, double>> collected;
+    for (const fl::RoundSummary& round : result.rounds) {
+      for (const fl::ClientRoundSummary& c : round.clients) {
+        collected.emplace_back(c.collected, c.collected_weight);
+      }
+    }
+    if (workers == kWorkerCounts[0]) {
+      base_collected = collected;
+      ASSERT_FALSE(base_collected.empty());
+    } else {
+      ASSERT_EQ(base_collected, collected) << "workers " << workers;
     }
   }
 }

@@ -1,0 +1,28 @@
+// Negative fixture: reads a FEDCA_GUARDED_BY member without holding its
+// mutex. Under clang with -Wthread-safety -Werror=thread-safety this file
+// MUST NOT compile — tests/static_analysis/CMakeLists.txt try_compiles it
+// and fails the configure if it unexpectedly succeeds, proving the gate has
+// teeth. (On non-clang toolchains the annotations are no-ops and the
+// fixture is not exercised.)
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace fedca::sa_fixture {
+
+class Unguarded {
+ public:
+  int read() const {
+    return value_;  // BAD: no lock held — must be rejected by the analysis
+  }
+
+ private:
+  mutable util::Mutex mu_;
+  int value_ FEDCA_GUARDED_BY(mu_) = 0;
+};
+
+int negative_fixture_anchor() {
+  Unguarded u;
+  return u.read();
+}
+
+}  // namespace fedca::sa_fixture

@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""Fixture suite for tools/lint_fedca.py.
+
+For every rule: one seeded violation the linter MUST flag, one clean
+snippet it MUST pass, and a waivered violation it MUST honor. Fixtures are
+materialized as miniature repo trees in a temp dir and linted via --root,
+so the suite is hermetic and proves the gate "demonstrably fails on seeded
+violations" (not just that it happens to pass on today's tree).
+
+Run directly (python3 tests/tools/lint_fedca_test.py) or via ctest.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+LINTER = os.path.join(REPO_ROOT, "tools", "lint_fedca.py")
+
+
+def run_linter(root):
+    proc = subprocess.run(
+        [sys.executable, LINTER, "--root", root],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+class LintFixtureCase(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory(prefix="lint_fedca_fixture_")
+        self.root = self._tmp.name
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, rel, content):
+        path = os.path.join(self.root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+
+    def assert_flags(self, rule, detail=""):
+        code, out = run_linter(self.root)
+        self.assertEqual(code, 1, f"expected a finding, got:\n{out}")
+        self.assertIn(f"[{rule}]", out, f"{detail}\noutput:\n{out}")
+
+    def assert_clean(self, detail=""):
+        code, out = run_linter(self.root)
+        self.assertEqual(code, 0, f"{detail}\nexpected clean, got:\n{out}")
+        self.assertIn("lint_fedca: OK", out)
+
+
+class RawRngRule(LintFixtureCase):
+    def test_flags_std_rand(self):
+        self.write("src/fl/bad.cpp",
+                   "int pick() { return std::rand() % 7; }\n")
+        self.assert_flags("raw-rng")
+
+    def test_flags_time_seed(self):
+        self.write("bench/bad.cpp",
+                   "unsigned seed() { return time(nullptr); }\n")
+        self.assert_flags("raw-rng")
+
+    def test_flags_random_device(self):
+        self.write("examples/bad.cpp",
+                   "std::random_device rd;\n")
+        self.assert_flags("raw-rng")
+
+    def test_clean_seeded_rng(self):
+        self.write("src/fl/good.cpp",
+                   '#include "util/rng.hpp"\n'
+                   "double draw(fedca::util::Rng& rng) { return rng.uniform(); }\n")
+        self.assert_clean()
+
+    def test_rng_module_exempt(self):
+        # The sanctioned RNG module may reference the banned names.
+        self.write("src/util/rng.cpp",
+                   "// fallback path mirrors std::rand scaling\n"
+                   "std::random_device dev_for_docs_only;\n")
+        self.assert_clean("src/util/rng.* is the sanctioned module")
+
+    def test_waiver_honored(self):
+        self.write("src/fl/waived.cpp",
+                   "std::random_device rd;  // lint:rng entropy probe, "
+                   "never feeds the experiment\n")
+        self.assert_clean("// lint:rng must waive the finding")
+
+
+class UnorderedIterRule(LintFixtureCase):
+    def test_flags_declaration_in_output_path(self):
+        self.write("src/fl/bad.cpp",
+                   "#include <unordered_map>\n"
+                   "std::unordered_map<int, double> weights;\n")
+        self.assert_flags("unordered-iter")
+
+    def test_flags_iteration(self):
+        self.write(
+            "src/core/bad.cpp",
+            "#include <unordered_map>\n"
+            "double total(const std::unordered_map<int, double>& m) {\n"
+            "  std::unordered_map<int, double> local = m;  // lint:ordered\n"
+            "  double t = 0;\n"
+            "  for (const auto& kv : local) t += kv.second;\n"
+            "  return t;\n"
+            "}\n")
+        self.assert_flags("unordered-iter",
+                          "iteration over a tracked container must flag even "
+                          "when the declaration itself is waived")
+
+    def test_clean_ordered_map(self):
+        self.write("src/nn/good.cpp",
+                   "#include <map>\n"
+                   "std::map<int, double> weights;\n")
+        self.assert_clean()
+
+    def test_unordered_ok_outside_output_paths(self):
+        # src/obs is not an output-affecting path for the FL result.
+        self.write("src/obs/ok.cpp",
+                   "#include <unordered_map>\n"
+                   "std::unordered_map<int, int> counters;\n")
+        self.assert_clean()
+
+    def test_waiver_honored(self):
+        self.write("src/fl/waived.cpp",
+                   "std::unordered_map<int, double> cache;  // lint:ordered "
+                   "lookup-only, never iterated\n")
+        self.assert_clean()
+
+
+class RawTensorAllocRule(LintFixtureCase):
+    def test_flags_new_array(self):
+        self.write("src/tensor/bad.cpp",
+                   "float* scratch() { return new float[64]; }\n")
+        self.assert_flags("raw-tensor-alloc")
+
+    def test_flags_malloc(self):
+        self.write("src/tensor/bad2.cpp",
+                   "void* scratch() { return malloc(256); }\n")
+        self.assert_flags("raw-tensor-alloc")
+
+    def test_pool_cpp_exempt(self):
+        self.write("src/tensor/pool.cpp",
+                   "float* raw = new float[1024];\n")
+        self.assert_clean("pool.cpp is the one sanctioned allocator")
+
+    def test_clean_pool_usage(self):
+        self.write("src/tensor/good.cpp",
+                   '#include "tensor/pool.hpp"\n'
+                   "auto buf = fedca::tensor::BufferPool::instance().acquire(64);\n")
+        self.assert_clean()
+
+    def test_waiver_honored(self):
+        self.write("src/tensor/waived.cpp",
+                   "char* arena = new char[4096];  // lint:alloc "
+                   "non-float metadata arena\n")
+        self.assert_clean()
+
+
+class FastMathRule(LintFixtureCase):
+    def test_flags_ffast_math(self):
+        self.write("src/CMakeLists.txt",
+                   "add_compile_options(-ffast-math)\n")
+        self.assert_flags("fast-math")
+
+    def test_flags_ofast_in_cmake_module(self):
+        self.write("cmake/opt.cmake",
+                   'set(CMAKE_CXX_FLAGS_RELEASE "-Ofast")\n')
+        self.assert_flags("fast-math")
+
+    def test_comment_not_flagged(self):
+        self.write("src/CMakeLists.txt",
+                   "# -ffast-math and friends stay off: determinism contract\n"
+                   "add_compile_options(-O2)\n")
+        self.assert_clean("cmake comments must be stripped before matching")
+
+    def test_no_waiver_exists(self):
+        # fast-math deliberately has no waiver token: even a line carrying
+        # other rules' tokens must still be flagged.
+        self.write("src/CMakeLists.txt",
+                   "add_compile_options(-ffast-math) # lint:ordered lint:rng\n")
+        self.assert_flags("fast-math", "fast-math must not be waivable")
+
+
+class FloatAccumRule(LintFixtureCase):
+    def test_flags_uncontracted_accumulator(self):
+        self.write("src/tensor/bad.cpp",
+                   "float dot(const float* a, const float* b, int n) {\n"
+                   "  float acc = 0.0f;\n"
+                   "  for (int i = 0; i < n; ++i) acc += a[i] * b[i];\n"
+                   "  return acc;\n"
+                   "}\n")
+        self.assert_flags("float-accum")
+
+    def test_clean_with_association_comment(self):
+        self.write("src/nn/good.cpp",
+                   "// Fixed association order: strict left-to-right over i\n"
+                   "// (tensor/ops.hpp contract).\n"
+                   "float dot(const float* a, const float* b, int n) {\n"
+                   "  float sum = 0.0f;\n"
+                   "  for (int i = 0; i < n; ++i) sum += a[i] * b[i];\n"
+                   "  return sum;\n"
+                   "}\n")
+        self.assert_clean()
+
+    def test_double_accumulator_not_flagged(self):
+        # Accumulate-in-double + final cast is the sanctioned stronger
+        # pattern; the cast spelling must not trip the rule.
+        self.write("src/nn/good2.cpp",
+                   "float mean(const float* a, int n) {\n"
+                   "  double acc = 0.0;\n"
+                   "  for (int i = 0; i < n; ++i) acc += a[i];\n"
+                   "  return static_cast<float>(acc / n);\n"
+                   "}\n")
+        self.assert_clean("double accumulators with float casts are the "
+                          "good pattern")
+
+    def test_waiver_honored(self):
+        self.write("src/tensor/waived.cpp",
+                   "float acc = 0.0f;  // lint:fixed-assoc scalar epilogue, "
+                   "single term\n")
+        self.assert_clean()
+
+
+class CliBehaviour(LintFixtureCase):
+    def test_list_rules(self):
+        proc = subprocess.run([sys.executable, LINTER, "--list-rules"],
+                              capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0)
+        for rule in ("raw-rng", "unordered-iter", "raw-tensor-alloc",
+                     "fast-math", "float-accum"):
+            self.assertIn(rule, proc.stdout)
+
+    def test_missing_root_is_usage_error(self):
+        code, _ = run_linter(os.path.join(self.root, "does-not-exist"))
+        self.assertEqual(code, 2)
+
+    def test_finding_format(self):
+        self.write("src/fl/bad.cpp", "std::random_device rd;\n")
+        code, out = run_linter(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn("src/fl/bad.cpp:1: [raw-rng]", out)
+
+    def test_real_tree_is_clean(self):
+        # The committed tree must satisfy its own invariants.
+        code, out = run_linter(REPO_ROOT)
+        self.assertEqual(code, 0, f"repo tree has lint findings:\n{out}")
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -21,7 +21,15 @@ Usage:
   check_trace.py TRACE.json [--expect NAME]...
 
 --expect NAME (repeatable) additionally asserts that at least one span or
-instant with that exact name is present. Exits 0 when valid, 1 otherwise.
+instant with that exact name is present.
+
+Exit codes distinguish "the producer never wrote a trace" from "the trace
+is wrong", so harnesses (tools/run_all.sh, the robustness tests) can tell a
+crashed/truncated run apart from a tracer bug:
+  0  trace is valid
+  1  trace is structurally invalid (semantic validation failed)
+  2  trace is UNREADABLE: file missing, empty, JSON truncated/unparseable,
+     or contains no events at all
 """
 
 import argparse
@@ -32,10 +40,18 @@ import sys
 REQUIRED_KEYS = {"name", "ph", "pid", "tid", "ts"}
 KNOWN_PHASES = {"X", "B", "E", "i", "I", "M", "C"}
 
+EXIT_INVALID = 1
+EXIT_UNREADABLE = 2
+
 
 def fail(msg):
     print(f"check_trace: FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
+    sys.exit(EXIT_INVALID)
+
+
+def unreadable(msg):
+    print(f"check_trace: UNREADABLE: {msg}", file=sys.stderr)
+    sys.exit(EXIT_UNREADABLE)
 
 
 def is_number(v):
@@ -56,9 +72,15 @@ def main():
 
     try:
         with open(args.trace, "r", encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"cannot parse {args.trace}: {e}")
+            raw = f.read()
+    except OSError as e:
+        unreadable(f"cannot read {args.trace}: {e}")
+    if not raw.strip():
+        unreadable(f"{args.trace} is empty — the producer wrote nothing")
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError as e:
+        unreadable(f"{args.trace} is not valid JSON (truncated trace?): {e}")
 
     if isinstance(doc, dict):
         events = doc.get("traceEvents")
@@ -70,7 +92,7 @@ def main():
         fail("top-level JSON must be an array or an object")
 
     if not events:
-        fail("trace contains no events")
+        unreadable(f"{args.trace} parses but contains no events")
 
     seen_names = set()
     open_stacks = collections.defaultdict(list)  # (pid, tid) -> [begin names]

@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""FedCA invariant linter — repo-specific rules no generic tool knows.
+
+The reproduction's headline guarantee is bit-identical output across runs,
+worker counts, and allocator modes. That guarantee is carried by a handful
+of source-level disciplines that neither the compiler nor clang-tidy can
+check. This linter makes them structural. AST-free by design: plain
+line-oriented scanning, so it runs anywhere python3 runs and never needs a
+compilation database.
+
+Rules (each finding names its rule; see --list-rules):
+
+  raw-rng           All randomness must flow through the seeded forkable
+                    Rng in src/util/rng.* — std::rand/srand, time(nullptr)
+                    seeding, and std::random_device are banned in src/,
+                    bench/, and examples/ (they make runs unrepeatable).
+                    Waiver: // lint:rng
+
+  unordered-iter    Output-affecting paths (src/fl, src/core, src/nn) must
+                    not depend on hash-table iteration order. Both the
+                    declaration of a std::unordered_map/unordered_set and
+                    any iteration over one (range-for, .begin()) are
+                    flagged: declarations because they are one refactor
+                    away from nondeterministic iteration — prefer std::map
+                    or a sorted vector; iteration because it is the bug
+                    itself. Waiver: // lint:ordered (assert on the line
+                    that iteration order cannot reach output).
+
+  raw-tensor-alloc  Tensor float buffers must come from the BufferPool
+                    (src/tensor/pool.cpp) so pool-on/pool-off stay
+                    byte-identical and the allocation benches stay honest:
+                    raw new[]/malloc/calloc/realloc/free are banned in
+                    src/tensor outside pool.cpp. Waiver: // lint:alloc
+
+  fast-math         No value-changing FP flags anywhere in the build:
+                    -ffast-math, -Ofast, -funsafe-math-optimizations,
+                    -fassociative-math, -freciprocal-math would let the
+                    compiler reassociate the fixed accumulation orders
+                    documented in src/tensor/ops.hpp. Checked in every
+                    CMakeLists.txt / *.cmake (comments ignored). No waiver.
+
+  float-accum       Kernel files (src/tensor/*.cpp, src/nn/*.cpp) that
+                    declare float accumulators (identifiers containing
+                    acc/sum) must carry the fixed-association comment
+                    contract from tensor/ops.hpp — a comment mentioning
+                    "association" — so every accumulation order is
+                    documented as deliberate. Waiver: // lint:fixed-assoc
+
+Usage:
+  lint_fedca.py [--root DIR] [--list-rules]
+
+Exits 0 when clean, 1 with one "file:line: [rule] message" per finding
+otherwise, 2 on usage errors.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --- rule patterns -----------------------------------------------------------
+
+RAW_RNG_PATTERNS = [
+    (re.compile(r"\bstd::rand\b"), "std::rand"),
+    (re.compile(r"(?<![\w:])srand\s*\("), "srand()"),
+    (re.compile(r"(?<![\w:.])time\s*\(\s*(?:nullptr|NULL|0)\s*\)"), "time(nullptr) seeding"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+]
+
+UNORDERED_DECL = re.compile(r"\bstd::unordered_(?:map|set)\s*<")
+# `std::unordered_map<K, V> name...` — capture the declared identifier so
+# iteration over it can be tracked through the rest of the file.
+UNORDERED_DECL_NAME = re.compile(
+    r"\bstd::unordered_(?:map|set)\s*<[^;{]*?>\s+(\w+)\s*[;({=]"
+)
+RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*:\s*(\w+)\s*\)")
+BEGIN_CALL = re.compile(r"\b(\w+)\.(?:begin|cbegin)\s*\(\)")
+
+RAW_ALLOC_PATTERNS = [
+    (re.compile(r"\bnew\s+[\w:<>]+\s*\["), "raw new[]"),
+    (re.compile(r"(?<![\w:.])(?:malloc|calloc|realloc|free)\s*\("), "raw C allocation"),
+]
+
+FAST_MATH_FLAGS = [
+    "-ffast-math",
+    "-Ofast",
+    "-funsafe-math-optimizations",
+    "-fassociative-math",
+    "-freciprocal-math",
+    "-fno-math-errno=fast",  # defensive: any future "fast" spelling
+]
+
+# Declarations only (`float acc...`, `float sum...`): casting a DOUBLE
+# accumulator to float at the end (static_cast<float>(acc)) is the
+# sanctioned stronger pattern and must not be flagged.
+FLOAT_ACCUM = re.compile(r"\bfloat\s+\w*(?:acc|sum)\w*", re.IGNORECASE)
+ASSOCIATION_COMMENT = re.compile(r"(?://|\*).*associat", re.IGNORECASE)
+
+WAIVERS = {
+    "raw-rng": "lint:rng",
+    "unordered-iter": "lint:ordered",
+    "raw-tensor-alloc": "lint:alloc",
+    "float-accum": "lint:fixed-assoc",
+}
+
+CXX_EXT = (".cpp", ".hpp", ".cc", ".h")
+SKIP_DIR_PARTS = {".git", "build", "build-tsan", "build-asan", "build-sa",
+                  "results", "third_party", "tests"}
+
+
+def is_comment_or_string_hit(line, match_start):
+    """Cheap suppression: a hit strictly inside a // comment is not code."""
+    comment = line.find("//")
+    return comment != -1 and comment < match_start
+
+
+class Finding:
+    def __init__(self, path, line_no, rule, message):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def waived(rule, line):
+    token = WAIVERS.get(rule)
+    return token is not None and token in line
+
+
+def lint_raw_rng(rel, lines, findings):
+    if rel.replace(os.sep, "/").startswith("src/util/rng"):
+        return  # the one sanctioned RNG module
+    for no, line in enumerate(lines, 1):
+        if waived("raw-rng", line):
+            continue
+        for pattern, what in RAW_RNG_PATTERNS:
+            m = pattern.search(line)
+            if m and not is_comment_or_string_hit(line, m.start()):
+                findings.append(Finding(
+                    rel, no, "raw-rng",
+                    f"{what} bypasses the seeded util::Rng — runs become "
+                    "unrepeatable (waive with // lint:rng)"))
+
+
+def lint_unordered(rel, lines, findings):
+    tracked = set()
+    for no, line in enumerate(lines, 1):
+        decl = UNORDERED_DECL.search(line)
+        if decl and not is_comment_or_string_hit(line, decl.start()):
+            name = UNORDERED_DECL_NAME.search(line)
+            if name:
+                tracked.add(name.group(1))
+            if not waived("unordered-iter", line):
+                findings.append(Finding(
+                    rel, no, "unordered-iter",
+                    "unordered container in an output-affecting path: "
+                    "iteration order is hash-dependent — use std::map or a "
+                    "sorted vector, or waive with // lint:ordered if no "
+                    "iteration can reach output"))
+            continue
+        if waived("unordered-iter", line):
+            continue
+        for pattern in (RANGE_FOR, BEGIN_CALL):
+            m = pattern.search(line)
+            if m and m.group(1) in tracked and \
+                    not is_comment_or_string_hit(line, m.start()):
+                findings.append(Finding(
+                    rel, no, "unordered-iter",
+                    f"iteration over unordered container '{m.group(1)}' — "
+                    "sort the keys or switch to an ordered container "
+                    "(waive with // lint:ordered)"))
+
+
+def lint_raw_alloc(rel, lines, findings):
+    for no, line in enumerate(lines, 1):
+        if waived("raw-tensor-alloc", line):
+            continue
+        for pattern, what in RAW_ALLOC_PATTERNS:
+            m = pattern.search(line)
+            if m and not is_comment_or_string_hit(line, m.start()):
+                findings.append(Finding(
+                    rel, no, "raw-tensor-alloc",
+                    f"{what} in src/tensor — route buffers through "
+                    "BufferPool (pool.cpp) so pool-on/off stay "
+                    "byte-identical (waive with // lint:alloc)"))
+
+
+def lint_fast_math(rel, lines, findings):
+    for no, line in enumerate(lines, 1):
+        code = line.split("#", 1)[0]  # strip cmake comments
+        for flag in FAST_MATH_FLAGS:
+            if flag in code:
+                findings.append(Finding(
+                    rel, no, "fast-math",
+                    f"{flag} permits FP reassociation and breaks the fixed "
+                    "accumulation orders (tensor/ops.hpp contract); no "
+                    "waiver — remove the flag"))
+
+
+def lint_float_accum(rel, lines, findings):
+    has_contract = any(ASSOCIATION_COMMENT.search(l) for l in lines)
+    for no, line in enumerate(lines, 1):
+        if waived("float-accum", line):
+            continue
+        m = FLOAT_ACCUM.search(line)
+        if m and not is_comment_or_string_hit(line, m.start()) and not has_contract:
+            findings.append(Finding(
+                rel, no, "float-accum",
+                "float accumulator in a kernel file with no fixed-"
+                "association comment — document the association order "
+                "(see tensor/ops.hpp) or waive with // lint:fixed-assoc"))
+
+
+def iter_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames
+                             if d not in SKIP_DIR_PARTS and not d.startswith("."))
+        for fn in sorted(filenames):
+            yield os.path.join(dirpath, fn)
+
+
+def lint_tree(root):
+    findings = []
+    for path in iter_files(root):
+        rel = os.path.relpath(path, root)
+        posix = rel.replace(os.sep, "/")
+        base = os.path.basename(path)
+        is_cmake = base == "CMakeLists.txt" or base.endswith(".cmake")
+        is_cxx = base.endswith(CXX_EXT)
+        if not (is_cmake or is_cxx):
+            continue
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                lines = f.read().splitlines()
+        except OSError as e:
+            findings.append(Finding(rel, 0, "io", f"unreadable: {e}"))
+            continue
+        if is_cmake:
+            lint_fast_math(posix, lines, findings)
+            continue
+        if posix.startswith(("src/", "bench/", "examples/")):
+            lint_raw_rng(posix, lines, findings)
+        if posix.startswith(("src/fl/", "src/core/", "src/nn/")):
+            lint_unordered(posix, lines, findings)
+        if posix.startswith("src/tensor/") and base != "pool.cpp":
+            lint_raw_alloc(posix, lines, findings)
+        if (posix.startswith(("src/tensor/", "src/nn/"))
+                and base.endswith((".cpp", ".cc"))):
+            lint_float_accum(posix, lines, findings)
+    return findings
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="FedCA repo invariant linter (see module docstring)")
+    parser.add_argument("--root", default=None,
+                        help="tree to lint (default: the repo this script lives in)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule names and exit")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule in ("raw-rng", "unordered-iter", "raw-tensor-alloc",
+                     "fast-math", "float-accum"):
+            print(rule)
+        return 0
+
+    root = args.root or os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(root):
+        print(f"lint_fedca: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    findings = lint_tree(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_fedca: FAIL: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint_fedca: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

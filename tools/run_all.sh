@@ -4,6 +4,30 @@
 # instrumented engine and the fault-injection chaos suites.
 set -u
 cd "$(dirname "$0")/.."
+
+# Static analysis first — cheapest stage, fails fastest. The invariant
+# linter (pure python) always runs and any finding fails the pass. When
+# clang is available the clang-tidy baseline gate and a clang build with
+# -Werror=thread-safety (FEDCA_STATIC_ANALYSIS=ON) run too; on the
+# gcc-only container those sub-stages print SKIP. FEDCA_LINT=0 skips the
+# whole stage.
+if [ "${FEDCA_LINT:-1}" != "0" ]; then
+  echo "===== lint =====" | tee /root/repo/lint_output.txt
+  python3 tools/lint_fedca.py 2>&1 | tee -a /root/repo/lint_output.txt || exit 1
+  python3 tools/run_clang_tidy.py --build-dir build 2>&1 \
+    | tee -a /root/repo/lint_output.txt || exit 1
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "--- thread-safety build (clang) ---" | tee -a /root/repo/lint_output.txt
+    cmake -B build-sa -S . -DCMAKE_CXX_COMPILER=clang++ \
+      -DFEDCA_STATIC_ANALYSIS=ON >>/root/repo/lint_output.txt 2>&1 &&
+    cmake --build build-sa -j "$(nproc)" >>/root/repo/lint_output.txt 2>&1 \
+      || { echo "thread-safety build FAILED (see lint_output.txt)"; exit 1; }
+  else
+    echo "--- thread-safety build: SKIP (no clang++) ---" \
+      | tee -a /root/repo/lint_output.txt
+  fi
+fi
+
 ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
 mkdir -p /root/repo/results
 for b in build/bench/*; do

@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""clang-tidy gate for the FedCA reproduction: zero NEW findings.
+
+Runs clang-tidy (config: .clang-tidy at the repo root) over every
+first-party translation unit in the compilation database and compares the
+normalized findings against the committed baseline
+(tools/clang_tidy_baseline.txt). The gate fails only on findings that are
+not in the baseline, so the bar ratchets: existing debt is frozen, new debt
+is rejected. Burn-downs shrink the baseline; it must never grow.
+
+Finding normalization is path + check only (no line numbers), so unrelated
+edits that shift lines do not churn the baseline.
+
+Usage:
+  run_clang_tidy.py [--build-dir DIR] [--update-baseline] [--jobs N]
+
+Environment:
+  CLANG_TIDY  explicit clang-tidy binary (default: first of clang-tidy,
+              clang-tidy-19 ... clang-tidy-14 on PATH)
+
+Exit codes:
+  0  clean (or clang-tidy unavailable — prints SKIP so CI shows the gap)
+  1  new findings not in the baseline
+  2  usage/configuration error (no compile_commands.json, bad build dir)
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(REPO_ROOT, "tools", "clang_tidy_baseline.txt")
+
+# First-party code only: system headers and gtest are not ours to lint.
+FIRST_PARTY = ("src/", "bench/", "examples/", "tests/")
+
+# "path:line:col: warning: message [check-name]"
+FINDING_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?:warning|error):\s+(?P<msg>.*?)\s+\[(?P<check>[\w.,-]+)\]\s*$"
+)
+
+
+def find_clang_tidy():
+    env = os.environ.get("CLANG_TIDY")
+    if env:
+        return env if shutil.which(env) else None
+    candidates = ["clang-tidy"] + [f"clang-tidy-{v}" for v in range(19, 13, -1)]
+    for c in candidates:
+        if shutil.which(c):
+            return c
+    return None
+
+
+def load_compile_commands(build_dir):
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(path):
+        print(
+            f"run_clang_tidy: no {path} — configure with "
+            "cmake -B build -S . (CMAKE_EXPORT_COMPILE_COMMANDS is on by default)",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    with open(path, "r", encoding="utf-8") as f:
+        db = json.load(f)
+    files = []
+    for entry in db:
+        src = os.path.abspath(os.path.join(entry["directory"], entry["file"]))
+        rel = os.path.relpath(src, REPO_ROOT)
+        if rel.replace(os.sep, "/").startswith(FIRST_PARTY):
+            files.append(src)
+    return sorted(set(files))
+
+
+def normalize(raw_line):
+    """One finding line -> stable 'relpath [check]' key, or None."""
+    m = FINDING_RE.match(raw_line)
+    if not m:
+        return None
+    path = os.path.abspath(m.group("path"))
+    try:
+        rel = os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+    except ValueError:
+        rel = m.group("path")
+    if rel.startswith(".."):
+        return None  # outside the repo (system header) — not ours
+    return f"{rel} [{m.group('check')}]"
+
+
+def run_tidy(binary, files, build_dir, jobs):
+    findings = set()
+    # Batch to keep command lines short while amortizing process startup.
+    batch = max(1, len(files) // max(1, jobs * 4)) if files else 1
+    procs = []
+
+    def drain(block):
+        while procs and (block or len(procs) >= jobs):
+            p, batch_files = procs.pop(0)
+            out, _ = p.communicate()
+            for line in out.splitlines():
+                key = normalize(line)
+                if key:
+                    findings.add(key)
+
+    for i in range(0, len(files), batch):
+        chunk = files[i : i + batch]
+        cmd = [binary, "-p", build_dir, "--quiet"] + chunk
+        procs.append(
+            (
+                subprocess.Popen(
+                    cmd,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.DEVNULL,
+                    text=True,
+                    cwd=REPO_ROOT,
+                ),
+                chunk,
+            )
+        )
+        drain(block=False)
+    drain(block=True)
+    return findings
+
+
+def load_baseline():
+    if not os.path.isfile(BASELINE_PATH):
+        return set()
+    with open(BASELINE_PATH, "r", encoding="utf-8") as f:
+        return {
+            line.strip()
+            for line in f
+            if line.strip() and not line.startswith("#")
+        }
+
+
+def write_baseline(findings):
+    with open(BASELINE_PATH, "w", encoding="utf-8") as f:
+        f.write(
+            "# clang-tidy suppression baseline — frozen debt, never grows.\n"
+            "# One 'relpath [check]' per line; regenerate with\n"
+            "#   tools/run_clang_tidy.py --update-baseline\n"
+            "# only when burning findings DOWN.\n"
+        )
+        for key in sorted(findings):
+            f.write(key + "\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"),
+                        help="build tree holding compile_commands.json")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from current findings")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, multiprocessing.cpu_count() - 1))
+    args = parser.parse_args()
+
+    binary = find_clang_tidy()
+    if binary is None:
+        # Not an error: the gcc-only container runs the invariant linter and
+        # tests but cannot run this gate. Print loudly so the skip is visible.
+        print("run_clang_tidy: SKIP: clang-tidy not found "
+              "(set CLANG_TIDY or install clang-tidy)")
+        return 0
+
+    files = load_compile_commands(os.path.abspath(args.build_dir))
+    if not files:
+        print("run_clang_tidy: no first-party files in compile_commands.json",
+              file=sys.stderr)
+        return 2
+
+    findings = run_tidy(binary, files, os.path.abspath(args.build_dir),
+                        args.jobs)
+
+    if args.update_baseline:
+        write_baseline(findings)
+        print(f"run_clang_tidy: baseline rewritten with {len(findings)} entries")
+        return 0
+
+    baseline = load_baseline()
+    new = sorted(findings - baseline)
+    stale = sorted(baseline - findings)
+    if stale:
+        print(f"run_clang_tidy: note: {len(stale)} baseline entries no longer "
+              "fire — shrink tools/clang_tidy_baseline.txt:")
+        for key in stale:
+            print(f"  stale: {key}")
+    if new:
+        print(f"run_clang_tidy: FAIL: {len(new)} new finding(s) not in baseline:",
+              file=sys.stderr)
+        for key in new:
+            print(f"  new: {key}", file=sys.stderr)
+        return 1
+    print(f"run_clang_tidy: OK: {len(findings)} finding(s), all baselined "
+          f"({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
