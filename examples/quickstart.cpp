@@ -32,10 +32,12 @@ int main(int argc, char** argv) {
   options.target_accuracy = config.get_double("target", 0.0);
   options.optimizer.learning_rate = config.get_double("lr", 0.05);
   options.seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
-  // trace=/metrics= (or FEDCA_TRACE/FEDCA_METRICS) write a Chrome-trace
-  // timeline / metrics snapshot covering both schemes' runs.
+  // trace=/metrics=/report= (or FEDCA_TRACE/FEDCA_METRICS/FEDCA_REPORT)
+  // write a Chrome-trace timeline / metrics snapshot / per-round JSONL
+  // report covering both schemes' runs.
   options.trace_path = config.get_string("trace", "");
   options.metrics_path = config.get_string("metrics", "");
+  options.report_path = config.get_string("report", "");
   // Profile early and often at quickstart scale so FedCA's knowledge kicks
   // in within a short demo run.
   config.set("fedca_period", config.get_string("fedca_period", "5"));

@@ -6,10 +6,35 @@
 
 #include "nn/sgd.hpp"
 #include "obs/metrics.hpp"
+#include "obs/round_report.hpp"
 #include "obs/trace.hpp"
+#include "sim/faults.hpp"
 #include "tensor/pool.hpp"
 
 namespace fedca::fl {
+
+namespace {
+
+// Appends one async_update line to the run report (no-op until
+// obs::configure arms the writer). `seq` is the engine's monotone record
+// counter, bumped only when a line is actually written.
+void report_async_update(std::size_t& seq, std::size_t client, double arrival,
+                         std::size_t staleness, double weight, bool lost,
+                         const char* outcome) {
+  obs::RoundReportWriter& reporter = obs::RoundReportWriter::global();
+  if (!reporter.enabled()) return;
+  obs::AsyncUpdateReport report;
+  report.update_index = seq++;
+  report.client_id = client;
+  report.arrival_time = arrival;
+  report.staleness = staleness;
+  report.weight = weight;
+  report.lost = lost;
+  report.outcome = outcome;
+  reporter.append(report);
+}
+
+}  // namespace
 
 AsyncEngine::AsyncEngine(nn::Classifier* model, sim::Cluster* cluster,
                          std::vector<data::Dataset> shards, AsyncEngineOptions options,
@@ -31,6 +56,10 @@ AsyncEngine::AsyncEngine(nn::Classifier* model, sim::Cluster* cluster,
   for (std::size_t c = 0; c < shards_.size(); ++c) {
     loaders_.emplace_back(&shards_[c], options_.batch_size, rng.fork(0xA517C + c));
   }
+  // Arm the crash-dump seam before any launch can hit an injected fault:
+  // a permanent crash flushes the flight recorder / metrics / report so
+  // the tail of the run survives.
+  sim::set_fault_dump_hook(&obs::flush_on_fault);
   global_ = model_->state();
   in_flight_.resize(cluster_->size());
   for (std::size_t c = 0; c < cluster_->size(); ++c) launch(c, 0.0);
@@ -170,6 +199,8 @@ void AsyncEngine::launch(std::size_t c, double t) {
         tracer.record_instant(pid, "fault.crash", t,
                               {{"client", std::to_string(c)}});
       }
+      report_async_update(report_sequence_, c, t, 0, 0.0, true, "crash");
+      sim::notify_fault_dump();
       return;
     }
   }
@@ -199,6 +230,7 @@ void AsyncEngine::launch(std::size_t c, double t) {
       tracer.record_instant(pid, "fault.link_outage", start,
                             {{"client", std::to_string(c)}});
     }
+    report_async_update(report_sequence_, c, start, 0, 0.0, true, "link_outage");
     return;
   }
 
@@ -210,6 +242,7 @@ void AsyncEngine::launch(std::size_t c, double t) {
     flight.lost = true;
     flight.arrival_time = fail_time;
     const bool is_crash = faults->crashed_at(c, fail_time);
+    flight.lost_cause = is_crash ? "crash" : "dropout";
     if (is_crash) {
       FEDCA_MCOUNT("faults.crashes", 1.0);
     } else {
@@ -219,6 +252,7 @@ void AsyncEngine::launch(std::size_t c, double t) {
       tracer.record_instant(pid, is_crash ? "fault.crash" : "fault.dropout",
                             fail_time, {{"client", std::to_string(c)}});
     }
+    if (is_crash) sim::notify_fault_dump();
     in_flight_[c] = std::move(flight);
     return;
   }
@@ -229,6 +263,7 @@ void AsyncEngine::launch(std::size_t c, double t) {
       upload.end > start + options_.cycle_timeout) {
     flight.lost = true;
     flight.arrival_time = start + options_.cycle_timeout;
+    flight.lost_cause = "timeout";
     FEDCA_MCOUNT("async.cycle_timeouts", 1.0);
     if (tracing) {
       tracer.record_instant(pid, "recovery.cycle_timeout", flight.arrival_time,
@@ -287,6 +322,10 @@ AsyncUpdateRecord AsyncEngine::step() {
     record.weight = 0.0;
     record.lost = true;
     FEDCA_MCOUNT("faults.async_lost", 1.0);
+    report_async_update(report_sequence_, winner, record.arrival_time,
+                        record.staleness, 0.0, true,
+                        flight.lost_cause[0] != '\0' ? flight.lost_cause
+                                                     : "dropout");
     launch(winner, clock_);
     return record;
   }
@@ -327,6 +366,8 @@ AsyncUpdateRecord AsyncEngine::step() {
          {"staleness", std::to_string(record.staleness)},
          {"version", std::to_string(record.applied_version)}});
   }
+  report_async_update(report_sequence_, winner, record.arrival_time,
+                      record.staleness, record.weight, false, "applied");
 
   launch(winner, clock_);
   return record;

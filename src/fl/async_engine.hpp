@@ -103,6 +103,9 @@ class AsyncEngine {
     std::size_t downloaded_version = 0;
     nn::ModelState snapshot;  // the global the client trained from
     bool lost = false;        // cycle abandoned at arrival_time
+    // Why the cycle was abandoned ("crash"/"dropout"/"timeout"); points at
+    // a string literal, consumed by the RoundReport pipeline.
+    const char* lost_cause = "";
     bool dead = false;        // client permanently out (crash / dead link)
     // Speculative training cache: the cycle's SGD result (and the replica's
     // batch-norm buffers) once a batch-training pass has run it.
@@ -133,6 +136,9 @@ class AsyncEngine {
   // Trace pids (server + one per client), reserved lazily on the first
   // launch that finds the trace collector armed. 0 = not yet reserved.
   std::uint32_t trace_pid_base_ = 0;
+  // Monotone sequence number for run-report async_update lines (applied,
+  // lost, and permanently-dead records all consume one).
+  std::size_t report_sequence_ = 0;
   // Replica free-list for speculative parallel training.
   util::Mutex replica_mutex_;
   std::vector<std::unique_ptr<nn::Classifier>> replicas_ FEDCA_GUARDED_BY(replica_mutex_);

@@ -140,7 +140,8 @@ RoundSummary summarize(const RoundRecord& record) {
 ExperimentResult run_experiment(const ExperimentOptions& options, Scheme& scheme) {
   // Arm tracing/metrics before any round runs so the first round's spans
   // are captured; flush_paths remembers where to write at the end.
-  const auto flush_paths = obs::configure(options.trace_path, options.metrics_path);
+  const auto flush_paths = obs::configure(options.trace_path, options.metrics_path,
+                                          options.report_path);
   ExperimentSetup setup = make_setup(options, scheme);
   ExperimentResult result;
   result.scheme_name = scheme.name();

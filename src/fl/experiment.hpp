@@ -59,11 +59,12 @@ struct ExperimentOptions {
   int tensor_pool = -1;
   std::uint64_t seed = 42;
   // Observability. Non-empty paths arm the corresponding output; the
-  // FEDCA_TRACE / FEDCA_METRICS environment variables fill either when it
-  // is left empty here (explicit options win). Tracing and metrics have
-  // near-zero cost when disarmed.
+  // FEDCA_TRACE / FEDCA_METRICS / FEDCA_REPORT environment variables fill
+  // any left empty here (explicit options win). Tracing, metrics and the
+  // round report have near-zero cost when disarmed.
   std::string trace_path;
   std::string metrics_path;
+  std::string report_path;  // run_report.jsonl (see obs/round_report.hpp)
 };
 
 // Per-client behavioural summary of one round — everything the figures

@@ -6,7 +6,9 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/round_report.hpp"
 #include "obs/trace.hpp"
+#include "sim/faults.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/pool.hpp"
 #include "util/logging.hpp"
@@ -52,6 +54,10 @@ RoundEngine::RoundEngine(nn::Classifier* model, sim::Cluster* cluster,
   selection_rng_ = rng.fork(0x5E1EC7);
   global_ = model_->state();
   scheme_->bind(cluster_->size(), options_.local_iterations);
+  // Injected crashes flush the flight recorder's last events per thread:
+  // the engine is the component that interprets fault schedules, so it
+  // owns wiring the obs dump hook into the sim-layer notification seam.
+  sim::set_fault_dump_hook(&obs::flush_on_fault);
 }
 
 void RoundEngine::load_global_into_model() { model_->load(global_); }
@@ -144,6 +150,7 @@ RoundRecord RoundEngine::run_round() {
                                 {{"client", std::to_string(c)},
                                  {"round", std::to_string(round_index_)}});
         }
+        sim::notify_fault_dump();
       }
     }
     participants = std::move(alive);
@@ -335,6 +342,61 @@ RoundRecord RoundEngine::run_round() {
     tensor::BufferPool::global().publish_metrics();
   }
 
+  // Round attribution: one JSONL line per round with the deadline
+  // estimate vs realized times, a per-client outcome, and the straggler
+  // classification. Everything here is virtual-clock data copied from the
+  // record on the main thread, so the report is bit-identical across
+  // worker counts and recorder on/off.
+  obs::RoundReportWriter& reporter = obs::RoundReportWriter::global();
+  if (reporter.enabled()) {
+    obs::RoundReport report;
+    report.round_index = record.round_index;
+    report.start_time = record.start_time;
+    report.end_time = record.end_time;
+    report.deadline = record.deadline;  // kNoDeadline serializes as null
+    std::vector<char> collected_flag(record.clients.size(), 0);
+    std::vector<double> weight_of(record.clients.size(), 0.0);
+    for (std::size_t j = 0; j < record.collected.size(); ++j) {
+      const std::size_t idx = record.collected[j];
+      collected_flag[idx] = 1;
+      if (j < record.collected_weights.size()) {
+        weight_of[idx] = record.collected_weights[j];
+      }
+    }
+    report.clients.reserve(record.clients.size());
+    for (std::size_t i = 0; i < record.clients.size(); ++i) {
+      const ClientRoundResult& r = record.clients[i];
+      obs::ClientRoundReport c;
+      c.client_id = r.client_id;
+      if (r.failed) {
+        c.outcome = r.fault == ClientFault::kCrash        ? "crashed"
+                    : r.fault == ClientFault::kLinkOutage ? "link_outage"
+                                                          : "dropout";
+      } else if (std::isfinite(r.arrival_time) && r.arrival_time > timeout_cut) {
+        c.outcome = "timed_out";
+      } else if (collected_flag[i]) {
+        c.outcome = "collected";
+        c.weight = weight_of[i];
+      } else {
+        c.outcome = "shed";
+      }
+      c.iterations = r.iterations_run;
+      c.planned_iterations = r.planned_iterations;
+      c.early_stopped = r.early_stopped;
+      c.tau = r.early_stopped ? r.compute_done : obs::kNoTime;
+      c.duration = std::isfinite(r.arrival_time)
+                       ? r.arrival_time - record.start_time
+                       : obs::kNoTime;
+      c.compute_seconds = r.compute_seconds;
+      c.bytes_sent = r.bytes_sent;
+      c.eager_layers = r.eager.size();
+      c.retransmitted_layers = r.retransmitted_layers;
+      report.clients.push_back(std::move(c));
+    }
+    obs::finalize_round_report(report);
+    reporter.append(report);
+  }
+
   scheme_->observe_round(record);
   FEDCA_LOG_DEBUG("round_engine") << "round " << record.round_index << " done in "
                                   << record.duration() << "s (deadline "
@@ -402,6 +464,12 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
       tracer.record_instant(pid, name, at,
                             {{"client", std::to_string(client_id)},
                              {"round", std::to_string(info.round_index)}});
+    }
+    if (kind == ClientFault::kCrash) {
+      // Crash dump: persist the recorder rings — the last events every
+      // thread saw, including the fault.crash instant just recorded — at
+      // the moment the injected crash fires.
+      sim::notify_fault_dump();
     }
   };
 

@@ -70,7 +70,14 @@ void HistogramMetric::record(double v) {
   if (v >= hi_) {
     bin = counts_.size() - 1;
   } else if (v > lo_) {
-    bin = static_cast<std::size_t>((v - lo_) / width);
+    const double pos = (v - lo_) / width;
+    bin = static_cast<std::size_t>(pos);
+    // Buckets past the first are (lo_b, hi_b]: a value sitting exactly on
+    // a bucket edge belongs to the bucket it terminates, not the one it
+    // opens. Binning it upward inflated the interpolated p90/p99 for
+    // small samples whose values land on edges (e.g. integer-valued
+    // histograms with integer bucket widths).
+    if (bin > 0 && static_cast<double>(bin) == pos) --bin;
     bin = std::min(bin, counts_.size() - 1);
   }
   ++counts_[bin];

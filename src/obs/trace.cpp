@@ -4,12 +4,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
 
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/round_report.hpp"
 #include "util/logging.hpp"
+#include "util/thread_registry.hpp"
 
 namespace fedca::obs {
 
@@ -48,16 +52,48 @@ std::string fmt_us(double v) {
 const std::chrono::steady_clock::time_point g_wall_epoch =
     std::chrono::steady_clock::now();
 
-std::uint32_t this_thread_tid() {
-  static std::atomic<std::uint32_t> next{1};
-  thread_local std::uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
-  return tid;
+// Copies name/args from the string-based facade API into the POD slot,
+// counting anything that did not fit.
+void fill_name(RecorderEvent& event, const std::string& name) {
+  const std::size_t n = std::min(name.size(), RecorderEvent::kNameCapacity - 1);
+  name.copy(event.name, n);
+  event.name[n] = '\0';
+  if (n < name.size()) Recorder::global().note_truncated();
+}
+
+void fill_args(RecorderEvent& event, const TraceArgs& args) {
+  for (const auto& [key, value] : args) {
+    if (!append_arg(event, key.c_str(), value.c_str())) {
+      Recorder::global().note_truncated();
+    }
+  }
+}
+
+// Remembered output paths for the atexit / fault-dump flush. configure()
+// is the only writer.
+util::Mutex& paths_mutex() {
+  static util::Mutex m;
+  return m;
+}
+std::string& remembered_metrics_path() {
+  static std::string path;
+  return path;
 }
 
 }  // namespace
 
 TraceCollector& TraceCollector::global() {
   static TraceCollector collector;
+  // The recorder's volunteer drain (producer finds its ring nearly full)
+  // funnels through the same converter as an explicit drain, so auto-
+  // drained events land in events_/metrics exactly as if the collector
+  // had drained them itself.
+  static const bool sink_installed = [] {
+    Recorder::global().set_auto_drain_sink(
+        [](const RecorderEvent& event) { collector.consume(event); });
+    return true;
+  }();
+  (void)sink_installed;
   return collector;
 }
 
@@ -96,55 +132,50 @@ void TraceCollector::set_process_name(std::uint32_t pid, std::string name) {
   process_names_[pid] = std::move(name);
 }
 
-void TraceCollector::push(TraceEvent event) {
-  util::MutexLock lock(mutex_);
-  events_.push_back(std::move(event));
-}
-
 void TraceCollector::record_span(std::uint32_t pid, std::string name,
                                  double start_seconds, double end_seconds,
                                  TraceArgs args, std::uint32_t tid) {
   if (!enabled()) return;
-  TraceEvent e;
-  e.name = std::move(name);
-  e.phase = 'X';
-  e.clock = Clock::kVirtual;
-  e.ts_us = start_seconds * 1e6;
-  e.dur_us = std::max(0.0, (end_seconds - start_seconds) * 1e6);
+  RecorderEvent e;
+  e.kind = RecordKind::kSpan;
+  e.clock = 0;
   e.pid = pid;
   e.tid = tid;
-  e.args = std::move(args);
-  push(std::move(e));
+  e.t0 = start_seconds;
+  e.t1 = end_seconds;
+  fill_name(e, name);
+  fill_args(e, args);
+  Recorder::global().record(e);
 }
 
 void TraceCollector::record_instant(std::uint32_t pid, std::string name,
                                     double t_seconds, TraceArgs args,
                                     std::uint32_t tid) {
   if (!enabled()) return;
-  TraceEvent e;
-  e.name = std::move(name);
-  e.phase = 'i';
-  e.clock = Clock::kVirtual;
-  e.ts_us = t_seconds * 1e6;
+  RecorderEvent e;
+  e.kind = RecordKind::kInstant;
+  e.clock = 0;
   e.pid = pid;
   e.tid = tid;
-  e.args = std::move(args);
-  push(std::move(e));
+  e.t0 = t_seconds;
+  fill_name(e, name);
+  fill_args(e, args);
+  Recorder::global().record(e);
 }
 
 void TraceCollector::record_wall_span(std::string name, double start_seconds,
                                       double end_seconds, TraceArgs args) {
   if (!enabled()) return;
-  TraceEvent e;
-  e.name = std::move(name);
-  e.phase = 'X';
-  e.clock = Clock::kWall;
-  e.ts_us = start_seconds * 1e6;
-  e.dur_us = std::max(0.0, (end_seconds - start_seconds) * 1e6);
+  RecorderEvent e;
+  e.kind = RecordKind::kSpan;
+  e.clock = 1;
   e.pid = kWallClockPid;
-  e.tid = this_thread_tid();
-  e.args = std::move(args);
-  push(std::move(e));
+  e.tid = util::ThreadRegistry::current_id();
+  e.t0 = start_seconds;
+  e.t1 = end_seconds;
+  fill_name(e, name);
+  fill_args(e, args);
+  Recorder::global().record(e);
 }
 
 double TraceCollector::wall_now_seconds() {
@@ -152,12 +183,84 @@ double TraceCollector::wall_now_seconds() {
       .count();
 }
 
+void TraceCollector::consume(const RecorderEvent& event) const {
+  switch (event.kind) {
+    case RecordKind::kSpan:
+    case RecordKind::kInstant: {
+      TraceEvent e;
+      e.name = event.name;
+      e.phase = event.kind == RecordKind::kSpan ? 'X' : 'i';
+      e.clock = event.clock == 0 ? Clock::kVirtual : Clock::kWall;
+      e.ts_us = event.t0 * 1e6;
+      if (event.kind == RecordKind::kSpan) {
+        e.dur_us = std::max(0.0, (event.t1 - event.t0) * 1e6);
+      }
+      e.pid = event.pid;
+      e.tid = event.tid;
+      for_each_arg(event, [&e](const char* key, const char* value) {
+        e.args.emplace_back(key, value);
+      });
+      util::MutexLock lock(mutex_);
+      events_.push_back(std::move(e));
+      break;
+    }
+    case RecordKind::kCounter:
+      if (metrics_enabled()) {
+        MetricsRegistry::global().counter(event.name).add(event.t0);
+      }
+      break;
+    case RecordKind::kValue:
+      if (metrics_enabled()) {
+        MetricsRegistry::global()
+            .histogram(event.name, event.t1, event.t2,
+                       std::max<std::size_t>(1, event.bins))
+            .record(event.t0);
+      }
+      break;
+  }
+}
+
+void TraceCollector::drain_pending() const {
+  Recorder& recorder = Recorder::global();
+  recorder.drain([this](const RecorderEvent& event) { consume(event); });
+  // Publish the recorder's health deltas. Exact by construction: drop-
+  // newest rings count every event they refused, and the counters only
+  // move forward between resets.
+  const std::uint64_t dropped = recorder.dropped_total();
+  const std::uint64_t truncated = recorder.truncated_total();
+  std::uint64_t dropped_delta = 0;
+  std::uint64_t truncated_delta = 0;
+  {
+    util::MutexLock lock(mutex_);
+    if (dropped > published_dropped_) {
+      dropped_delta = dropped - published_dropped_;
+      published_dropped_ = dropped;
+    }
+    if (truncated > published_truncated_) {
+      truncated_delta = truncated - published_truncated_;
+      published_truncated_ = truncated;
+    }
+  }
+  if (metrics_enabled()) {
+    if (dropped_delta > 0) {
+      MetricsRegistry::global().counter("obs.recorder.dropped").add(
+          static_cast<double>(dropped_delta));
+    }
+    if (truncated_delta > 0) {
+      MetricsRegistry::global().counter("obs.recorder.truncated").add(
+          static_cast<double>(truncated_delta));
+    }
+  }
+}
+
 std::size_t TraceCollector::event_count() const {
+  drain_pending();
   util::MutexLock lock(mutex_);
   return events_.size();
 }
 
 std::vector<TraceEvent> TraceCollector::snapshot_events() const {
+  drain_pending();
   util::MutexLock lock(mutex_);
   return events_;
 }
@@ -168,6 +271,7 @@ std::map<std::uint32_t, std::string> TraceCollector::process_names() const {
 }
 
 void TraceCollector::write_chrome_json(std::ostream& os) const {
+  drain_pending();
   std::vector<TraceEvent> events;
   std::map<std::uint32_t, std::string> names;
   {
@@ -176,7 +280,10 @@ void TraceCollector::write_chrome_json(std::ostream& os) const {
     names = process_names_;
   }
   // Stable order: by pid, then tid, then timestamp — check_trace.py
-  // verifies per-track monotonicity on exactly this order.
+  // verifies per-track monotonicity on exactly this order. Ring-drain
+  // order interleaves threads arbitrarily, but every (pid, tid) track is
+  // produced by one thread in timestamp order, so the stable sort fully
+  // reconstructs per-track chronology.
   std::stable_sort(events.begin(), events.end(),
                    [](const TraceEvent& a, const TraceEvent& b) {
                      if (a.pid != b.pid) return a.pid < b.pid;
@@ -237,11 +344,14 @@ bool TraceCollector::flush() const {
 void TraceCollector::reset() {
   set_enabled(false);
   set_kernel_detail(false);
+  Recorder::global().reset();
   util::MutexLock lock(mutex_);
   events_.clear();
   process_names_.clear();
   next_pid_ = 1;
   path_.clear();
+  published_dropped_ = 0;
+  published_truncated_ = 0;
 }
 
 ScopedWallSpan::ScopedWallSpan(const char* name, bool kernel_level)
@@ -258,7 +368,8 @@ ScopedWallSpan::~ScopedWallSpan() {
 }
 
 std::pair<std::string, std::string> configure(const std::string& trace_path,
-                                              const std::string& metrics_path) {
+                                              const std::string& metrics_path,
+                                              const std::string& report_path) {
   std::string trace = trace_path;
   if (trace.empty()) {
     if (const char* env = std::getenv("FEDCA_TRACE")) trace = env;
@@ -266,6 +377,10 @@ std::pair<std::string, std::string> configure(const std::string& trace_path,
   std::string metrics = metrics_path;
   if (metrics.empty()) {
     if (const char* env = std::getenv("FEDCA_METRICS")) metrics = env;
+  }
+  std::string report = report_path;
+  if (report.empty()) {
+    if (const char* env = std::getenv("FEDCA_REPORT")) report = env;
   }
   TraceCollector& collector = TraceCollector::global();
   if (!trace.empty() && collector.output_path() != trace) {
@@ -275,6 +390,21 @@ std::pair<std::string, std::string> configure(const std::string& trace_path,
     collector.set_kernel_detail(std::string_view(detail) == "kernels");
   }
   if (!metrics.empty()) set_metrics_enabled(true);
+  if (!report.empty() && RoundReportWriter::global().output_path() != report) {
+    RoundReportWriter::global().set_output_path(report);
+  }
+  {
+    util::MutexLock lock(paths_mutex());
+    if (!metrics.empty()) remembered_metrics_path() = metrics;
+  }
+  // Abnormal-termination insurance: whatever outputs are armed get one
+  // final flush at process exit, so an aborted run leaves complete,
+  // parseable files instead of whatever happened to be on disk when it
+  // died. Registered once, after the collector/registry singletons exist
+  // (this function just touched them), so the handler runs before their
+  // destructors.
+  static std::once_flag atexit_once;
+  std::call_once(atexit_once, [] { std::atexit([] { flush_on_fault(); }); });
   return {trace, metrics};
 }
 
@@ -297,6 +427,25 @@ void flush_outputs(const std::string& metrics_path) {
       FEDCA_LOG_ERROR("obs") << "metrics not written: " << e.what();
     }
   }
+  try {
+    RoundReportWriter::global().flush();
+  } catch (const std::exception& e) {
+    FEDCA_LOG_ERROR("obs") << "round report not written: " << e.what();
+  }
+}
+
+void flush_on_fault() {
+  // Serialized: crashes can fire from several pool workers in the same
+  // round, and two interleaved rewrites of one output file would corrupt
+  // exactly the dump this hook exists to preserve.
+  static util::Mutex flush_mutex;
+  util::MutexLock lock(flush_mutex);
+  std::string metrics;
+  {
+    util::MutexLock paths_lock(paths_mutex());
+    metrics = remembered_metrics_path();
+  }
+  flush_outputs(metrics);
 }
 
 }  // namespace fedca::obs

@@ -18,6 +18,14 @@
 // Recording is disabled by default; set_output_path() (or the FEDCA_TRACE
 // environment variable, resolved by obs::configure()) arms it. Disabled
 // recording sites cost one relaxed atomic load.
+//
+// Since the flight recorder (obs/recorder.hpp) landed, this class is a
+// *facade*: record_span/record_instant/record_wall_span encode a POD
+// RecorderEvent and push it into the calling thread's lock-free ring —
+// the producer path takes no lock and performs no allocation. Every read
+// API (event_count, snapshot_events, write_chrome_json, flush, reset)
+// first drains the rings into the internal event vector, so call sites
+// and tests observe exactly the old semantics without churn.
 #pragma once
 
 #include <atomic>
@@ -33,6 +41,8 @@
 #include "util/thread_annotations.hpp"
 
 namespace fedca::obs {
+
+struct RecorderEvent;  // obs/recorder.hpp
 
 enum class Clock { kVirtual, kWall };
 
@@ -101,15 +111,23 @@ class TraceCollector {
   void reset();
 
  private:
-  void push(TraceEvent event);
+  // Converts one drained recorder event: spans/instants append to
+  // events_, counter/value events feed the metrics registry.
+  void consume(const RecorderEvent& event) const;
+  // Empties the recorder rings into events_ and publishes the recorder's
+  // drop/truncation accounting (obs.recorder.*). Every read API calls
+  // this first, which is what lets the producer path stay lock-free.
+  void drain_pending() const;
 
   std::atomic<bool> enabled_{false};
   std::atomic<bool> kernel_detail_{false};
   mutable util::Mutex mutex_;
-  std::vector<TraceEvent> events_ FEDCA_GUARDED_BY(mutex_);
+  mutable std::vector<TraceEvent> events_ FEDCA_GUARDED_BY(mutex_);
   std::map<std::uint32_t, std::string> process_names_ FEDCA_GUARDED_BY(mutex_);
   std::uint32_t next_pid_ FEDCA_GUARDED_BY(mutex_) = 1;
   std::string path_ FEDCA_GUARDED_BY(mutex_);
+  mutable std::uint64_t published_dropped_ FEDCA_GUARDED_BY(mutex_) = 0;
+  mutable std::uint64_t published_truncated_ FEDCA_GUARDED_BY(mutex_) = 0;
 };
 
 // RAII wall-clock span: measures a real-work region with the steady clock
@@ -128,16 +146,28 @@ class ScopedWallSpan {
   double start_seconds_ = 0.0;
 };
 
-// Resolves FEDCA_TRACE / FEDCA_METRICS / FEDCA_TRACE_DETAIL. Explicit
-// arguments win over the environment; empty results leave the collector /
-// registry untouched. Returns the resolved (trace, metrics) paths.
+// Resolves FEDCA_TRACE / FEDCA_METRICS / FEDCA_TRACE_DETAIL /
+// FEDCA_REPORT. Explicit arguments win over the environment; empty
+// results leave the collector / registry / report writer untouched.
+// Returns the resolved (trace, metrics) paths. Also registers (once) an
+// atexit flush of every armed output, so a run that dies mid-round still
+// leaves a parseable trace/metrics file behind instead of a truncated
+// one.
 std::pair<std::string, std::string> configure(const std::string& trace_path = "",
-                                              const std::string& metrics_path = "");
+                                              const std::string& metrics_path = "",
+                                              const std::string& report_path = "");
 
-// Writes the trace (to its output path) and the metrics snapshot (to
-// `metrics_path`, when non-empty). Safe to call repeatedly — files are
-// rewritten with everything accumulated so far.
+// Writes the trace (to its output path), the metrics snapshot (to
+// `metrics_path`, when non-empty) and the round report (to its own
+// output path). Safe to call repeatedly — files are rewritten with
+// everything accumulated so far.
 void flush_outputs(const std::string& metrics_path = "");
+
+// Crash-dump hook: flushes every armed output using the paths remembered
+// by the last configure() call. Installed into sim::set_fault_dump_hook
+// by the engines so injected crashes persist the recorder's last events;
+// also the body of the atexit handler. Never throws.
+void flush_on_fault();
 
 }  // namespace fedca::obs
 

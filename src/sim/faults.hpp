@@ -39,6 +39,19 @@ namespace fedca::sim {
 
 inline constexpr double kNever = std::numeric_limits<double>::infinity();
 
+// Fault-dump hook: whoever interprets an injected fault (the engines
+// today; the simulator itself tomorrow) calls notify_fault_dump() when a
+// permanent crash fires, and whoever owns telemetry installs the hook
+// (obs::flush_on_fault, wired by the engines/experiment driver). The
+// indirection keeps sim free of an obs dependency while guaranteeing the
+// flight recorder's last events per thread are flushed at the moment of
+// the crash rather than lost with the run. A null hook makes the notify
+// free; the hook must be cheap when no telemetry is armed and must not
+// throw.
+using FaultDumpHook = void (*)();
+void set_fault_dump_hook(FaultDumpHook hook);
+void notify_fault_dump();
+
 enum class FaultKind { kCrash, kDropout, kComputeSlowdown, kLinkDegrade };
 
 // One scheduled fault. `duration`/`factor` are interpreted per kind:

@@ -6,7 +6,23 @@
 #include <cstdlib>
 #include <exception>
 
+#include "util/thread_registry.hpp"
+
 namespace fedca::util {
+
+namespace {
+
+// Task-latency observer timestamps. The observer measures *real*
+// queue/run latency (threadpool.queue_seconds / run_seconds), which is
+// host-clock work by definition — a sanctioned exception to the
+// virtual-clock discipline the wall-clock lint rule enforces.
+double observer_now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())  // lint:wallclock
+      .count();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
@@ -34,21 +50,17 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     observer = observer_;
   }
   if (observer) {
-    const auto enqueued = std::chrono::steady_clock::now();
+    const double enqueued = observer_now_seconds();
     task = [observer, enqueued, inner = std::move(task)] {
-      const auto started = std::chrono::steady_clock::now();
-      const double queued = std::chrono::duration<double>(started - enqueued).count();
+      const double started = observer_now_seconds();
+      const double queued = started - enqueued;
       try {
         inner();
       } catch (...) {
-        (*observer)(queued, std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - started)
-                                .count());
+        (*observer)(queued, observer_now_seconds() - started);
         throw;
       }
-      (*observer)(queued, std::chrono::duration<double>(
-                              std::chrono::steady_clock::now() - started)
-                              .count());
+      (*observer)(queued, observer_now_seconds() - started);
     };
   }
   std::packaged_task<void()> packaged(std::move(task));
@@ -162,6 +174,11 @@ ThreadPool& ThreadPool::shared() {
 }
 
 void ThreadPool::worker_loop() {
+  // Register with the process-wide thread registry up front: the flight
+  // recorder indexes its per-thread rings by these ids, so pool workers
+  // get stable, low ids (and a name in trace/debug output) before the
+  // first task ever records an event.
+  ThreadRegistry::register_current("pool.worker");
   for (;;) {
     std::packaged_task<void()> task;
     {

@@ -60,6 +60,24 @@ TEST_F(MetricsTest, HistogramSummaryAndQuantiles) {
   EXPECT_DOUBLE_EQ(h.summary().max(), 250.0);
 }
 
+// Regression: a value sitting exactly on a bucket edge must land in the
+// bucket it terminates — buckets past the first are (lo, hi]. Binning
+// edge values upward shifted every percentile of integer-valued samples
+// one full bucket high (p90 of 10..100 read 95 instead of 90).
+TEST_F(MetricsTest, HistogramBucketEdgesBelongToTheLowerBucket) {
+  obs::HistogramMetric& h =
+      obs::MetricsRegistry::global().histogram("t.edges", 0.0, 100.0, 10);
+  for (int v = 10; v <= 100; v += 10) h.record(static_cast<double>(v));
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 90.0);
+  // The first bucket is closed on both ends: lo itself stays in bucket 0.
+  obs::HistogramMetric& lo =
+      obs::MetricsRegistry::global().histogram("t.edges.lo", 0.0, 10.0, 10);
+  lo.record(0.0);
+  EXPECT_DOUBLE_EQ(lo.quantile(1.0), 0.0);
+}
+
 TEST_F(MetricsTest, ConcurrentRecordingThroughThreadPool) {
   constexpr int kTasks = 64;
   constexpr int kPerTask = 500;

@@ -1,0 +1,185 @@
+// Flight recorder: ring wrap-around / drop accounting, per-thread
+// chronology, volunteer auto-drain, and argument-blob packing.
+#include "obs/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_registry.hpp"
+
+namespace fedca {
+namespace {
+
+class RecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::TraceCollector::global().reset();  // also resets the recorder
+    obs::MetricsRegistry::global().reset();
+    obs::set_metrics_enabled(false);
+  }
+  void TearDown() override {
+    obs::TraceCollector::global().reset();
+    obs::MetricsRegistry::global().reset();
+    obs::set_metrics_enabled(false);
+  }
+};
+
+TEST_F(RecorderTest, AppendArgPacksPairsAndRejectsOverflow) {
+  obs::RecorderEvent event{};
+  EXPECT_TRUE(obs::append_arg(event, "client", "7"));
+  EXPECT_TRUE(obs::append_arg(event, "round", "12"));
+  const std::string big(obs::RecorderEvent::kArgCapacity, 'x');
+  EXPECT_FALSE(obs::append_arg(event, "huge", big.c_str()));
+
+  std::vector<std::pair<std::string, std::string>> seen;
+  obs::for_each_arg(event, [&seen](const char* key, const char* value) {
+    seen.emplace_back(key, value);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<std::string, std::string>{"client", "7"}));
+  EXPECT_EQ(seen[1], (std::pair<std::string, std::string>{"round", "12"}));
+}
+
+TEST_F(RecorderTest, EventRingDropsNewestAndCountsExactly) {
+  obs::EventRing ring(4);
+  obs::RecorderEvent event{};
+  for (int i = 0; i < 10; ++i) {
+    event.t0 = static_cast<double>(i);
+    ring.try_push(event);
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 6u);
+
+  std::vector<double> drained;
+  ring.drain([&drained](const obs::RecorderEvent& e) { drained.push_back(e.t0); });
+  // Drop-newest keeps the OLDEST events, in push order.
+  EXPECT_EQ(drained, (std::vector<double>{0.0, 1.0, 2.0, 3.0}));
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 6u);  // accounting survives the drain
+}
+
+// Satellite: fill rings past capacity under 8 concurrent threads (auto
+// drain disabled so the wrap is deterministic), then assert the published
+// obs.recorder.dropped counter is EXACT and every surviving per-thread
+// stream is chronologically valid — the first `capacity` events, in order.
+TEST_F(RecorderTest, EightThreadWrapAccountsEveryDropExactly) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kCapacity = 64;
+  constexpr std::size_t kPushes = 100;
+
+  obs::TraceCollector& collector = obs::TraceCollector::global();
+  collector.set_enabled(true);
+  obs::set_metrics_enabled(true);
+  obs::Recorder& recorder = obs::Recorder::global();
+  recorder.set_auto_drain(false);
+  recorder.set_ring_capacity(kCapacity);  // applies to rings created below
+
+  std::vector<std::thread> threads;
+  std::vector<std::uint32_t> tids(kThreads, 0);
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&collector, &tids, t] {
+      tids[t] = util::ThreadRegistry::current_id();
+      for (std::size_t i = 0; i < kPushes; ++i) {
+        collector.record_wall_span("wrap.span", static_cast<double>(i),
+                                   static_cast<double>(i) + 0.5);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // snapshot_events drains the rings and publishes the drop accounting.
+  const std::vector<obs::TraceEvent> events = collector.snapshot_events();
+  std::map<std::uint32_t, std::vector<double>> per_tid;
+  for (const obs::TraceEvent& e : events) {
+    if (e.name == "wrap.span") per_tid[e.tid].push_back(e.ts_us);
+  }
+  ASSERT_EQ(per_tid.size(), kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    const auto it = per_tid.find(tids[t]);
+    ASSERT_NE(it, per_tid.end()) << "no events for thread " << t;
+    const std::vector<double>& ts = it->second;
+    ASSERT_EQ(ts.size(), kCapacity) << "thread " << t;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      // Chronological AND exactly the first kCapacity pushes (drop-newest).
+      EXPECT_DOUBLE_EQ(ts[i], static_cast<double>(i) * 1e6)
+          << "thread " << t << " slot " << i;
+    }
+  }
+
+  const double dropped =
+      obs::MetricsRegistry::global().counter("obs.recorder.dropped").value();
+  EXPECT_DOUBLE_EQ(dropped,
+                   static_cast<double>(kThreads * (kPushes - kCapacity)));
+  EXPECT_EQ(recorder.dropped_total(), kThreads * (kPushes - kCapacity));
+}
+
+TEST_F(RecorderTest, AutoDrainKeepsEveryEventPastRingCapacity) {
+  constexpr std::size_t kCapacity = 128;
+  constexpr std::size_t kPushes = 1000;
+
+  obs::TraceCollector& collector = obs::TraceCollector::global();
+  collector.set_enabled(true);
+  obs::Recorder::global().set_ring_capacity(kCapacity);
+  // auto_drain is on by default: the producing thread volunteers to empty
+  // the rings into the collector at the 3/4 high-water mark.
+  std::thread producer([&collector] {
+    for (std::size_t i = 0; i < kPushes; ++i) {
+      collector.record_wall_span("flood.span", static_cast<double>(i),
+                                 static_cast<double>(i) + 0.25);
+    }
+  });
+  producer.join();
+
+  EXPECT_EQ(collector.event_count(), kPushes);
+  EXPECT_EQ(obs::Recorder::global().dropped_total(), 0u);
+}
+
+TEST_F(RecorderTest, OversizeArgsAreTruncatedAndCounted) {
+  obs::TraceCollector& collector = obs::TraceCollector::global();
+  collector.set_enabled(true);
+  obs::set_metrics_enabled(true);
+
+  const std::string big(obs::RecorderEvent::kArgCapacity, 'v');
+  collector.record_span(1, "args.span", 0.0, 1.0,
+                        {{"kept", "yes"}, {"huge", big}});
+
+  const std::vector<obs::TraceEvent> events = collector.snapshot_events();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].args.size(), 1u);  // oversize pair dropped, first kept
+  EXPECT_EQ(events[0].args[0].first, "kept");
+  EXPECT_EQ(events[0].args[0].second, "yes");
+  EXPECT_GE(
+      obs::MetricsRegistry::global().counter("obs.recorder.truncated").value(),
+      1.0);
+}
+
+TEST_F(RecorderTest, ResetClearsCountsAndRestoresDefaults) {
+  obs::Recorder& recorder = obs::Recorder::global();
+  recorder.set_auto_drain(false);
+  recorder.set_ring_capacity(2);
+
+  obs::RecorderEvent event{};
+  event.kind = obs::RecordKind::kInstant;
+  std::thread producer([&recorder, event]() mutable {
+    for (int i = 0; i < 8; ++i) recorder.record(event);
+  });
+  producer.join();
+  EXPECT_EQ(recorder.dropped_total(), 6u);
+  EXPECT_EQ(recorder.pending_events(), 2u);
+
+  recorder.reset();
+  EXPECT_EQ(recorder.dropped_total(), 0u);
+  EXPECT_EQ(recorder.pending_events(), 0u);
+  EXPECT_TRUE(recorder.auto_drain());
+  EXPECT_EQ(recorder.ring_capacity(), obs::Recorder::kDefaultRingCapacity);
+}
+
+}  // namespace
+}  // namespace fedca

@@ -224,13 +224,58 @@ class FloatAccumRule(LintFixtureCase):
         self.assert_clean()
 
 
+class WallClockRule(LintFixtureCase):
+    def test_flags_steady_clock_in_fl(self):
+        self.write("src/fl/bad.cpp",
+                   "#include <chrono>\n"
+                   "double now() {\n"
+                   "  return std::chrono::duration<double>(\n"
+                   "      std::chrono::steady_clock::now().time_since_epoch())"
+                   ".count();\n"
+                   "}\n")
+        self.assert_flags("wall-clock")
+
+    def test_flags_system_clock_in_util(self):
+        self.write("src/util/bad.cpp",
+                   "auto stamp = std::chrono::system_clock::now();\n")
+        self.assert_flags("wall-clock")
+
+    def test_obs_and_sim_exempt(self):
+        # src/obs (tracer timestamps) and src/sim (virtual-clock anchor) are
+        # the sanctioned homes for wall-clock reads.
+        self.write("src/obs/ok.cpp",
+                   "auto t = std::chrono::steady_clock::now();\n")
+        self.write("src/sim/ok.cpp",
+                   "auto t = std::chrono::high_resolution_clock::now();\n")
+        self.assert_clean("src/obs and src/sim may read wall clocks")
+
+    def test_bench_exempt(self):
+        # Benchmarks measure real time by definition; the rule guards the
+        # deterministic core (src/) only.
+        self.write("bench/ok.cpp",
+                   "auto t0 = std::chrono::steady_clock::now();\n")
+        self.assert_clean("bench/ is outside the rule's scope")
+
+    def test_clean_virtual_clock(self):
+        self.write("src/fl/good.cpp",
+                   "double when(const fedca::sim::Cluster& c) "
+                   "{ return c.now(); }\n")
+        self.assert_clean()
+
+    def test_waiver_honored(self):
+        self.write("src/util/waived.cpp",
+                   "auto t = std::chrono::steady_clock::now();  "
+                   "// lint:wallclock observer-only timing\n")
+        self.assert_clean("// lint:wallclock must waive the finding")
+
+
 class CliBehaviour(LintFixtureCase):
     def test_list_rules(self):
         proc = subprocess.run([sys.executable, LINTER, "--list-rules"],
                               capture_output=True, text=True)
         self.assertEqual(proc.returncode, 0)
         for rule in ("raw-rng", "unordered-iter", "raw-tensor-alloc",
-                     "fast-math", "float-accum"):
+                     "fast-math", "float-accum", "wall-clock"):
             self.assertIn(rule, proc.stdout)
 
     def test_missing_root_is_usage_error(self):

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Observability benchmark runner: drives bench/obs_harness and writes
+BENCH_obs.json (checked in at the repo root).
+
+Three measurements, two of them gated:
+
+  * recorder throughput — mode=events pushes N span events per thread
+    through the lock-free flight recorder (reported, not gated);
+  * hot-loop overhead — wall seconds of the same seeded FedCA round loop
+    with the tracer + per-kernel spans fully ON vs fully OFF. Each arm
+    runs --repeat times and takes the minimum (robust against scheduler
+    noise); the ON/OFF ratio must stay <= 1.05;
+  * byte-identity — the global-model fingerprint (mode=identity) must be
+    identical across workers {1,2,8} x recorder {on,off}, and the
+    run_report.jsonl bytes (mode=report) identical across workers
+    {1,2,8}.
+
+Usage:
+    python3 tools/bench_obs.py [--build build] [--out BENCH_obs.json]
+"""
+import argparse
+import hashlib
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+OVERHEAD_LIMIT = 1.05
+
+
+def run_harness(binary: Path, **kv) -> dict:
+    cmd = [str(binary)] + [f"{k}={v}" for k, v in kv.items()]
+    print("+ " + " ".join(cmd), file=sys.stderr)
+    run = subprocess.run(cmd, capture_output=True, text=True)
+    if run.returncode != 0:
+        sys.stderr.write(run.stderr)
+        raise RuntimeError(f"obs_harness failed: {' '.join(cmd)}")
+    return json.loads(run.stdout)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build", default="build", help="CMake build directory")
+    parser.add_argument("--out", default="BENCH_obs.json", help="output path")
+    parser.add_argument("--rounds", type=int, default=16,
+                        help="measured rounds per overhead arm")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="repetitions per overhead arm (min is used)")
+    parser.add_argument("--threads", type=int, default=8,
+                        help="producer threads for the throughput mode")
+    parser.add_argument("--count", type=int, default=500000,
+                        help="events per producer thread")
+    args = parser.parse_args()
+
+    root = Path(__file__).resolve().parent.parent
+    binary = root / args.build / "bench" / "obs_harness"
+    if not binary.exists():
+        print(f"error: {binary} not built", file=sys.stderr)
+        return 1
+
+    failures = []
+
+    # --- recorder throughput -------------------------------------------------
+    events = run_harness(binary, mode="events", threads=args.threads,
+                         count=args.count)
+
+    # --- hot-loop overhead ---------------------------------------------------
+    # Arms are interleaved (off, on, off, on, ...) so slow drift in machine
+    # load hits both arms alike; min-of-N per arm then discards the noise.
+    arms = {}
+    for _ in range(args.repeat):
+        for trace in (0, 1):
+            run = run_harness(binary, mode="overhead", trace=trace,
+                              rounds=args.rounds)
+            best = arms.get(trace)
+            if best is None or run["seconds"] < best["seconds"]:
+                arms[trace] = run
+    overhead_ratio = arms[1]["seconds"] / arms[0]["seconds"]
+    if overhead_ratio > OVERHEAD_LIMIT:
+        failures.append(
+            f"recorder-on round loop is {overhead_ratio:.3f}x the recorder-off "
+            f"loop (limit {OVERHEAD_LIMIT}x)"
+        )
+
+    # --- byte-identity -------------------------------------------------------
+    fingerprints = {}
+    for workers in (1, 2, 8):
+        for trace in (0, 1):
+            run = run_harness(binary, mode="identity", workers=workers,
+                              trace=trace)
+            fingerprints[f"workers{workers}_trace{trace}"] = run["fingerprint"]
+    if len(set(fingerprints.values())) != 1:
+        failures.append(f"model fingerprints diverge: {fingerprints}")
+
+    report_digests = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for workers in (1, 2, 8):
+            out = Path(tmp) / f"run_report_w{workers}.jsonl"
+            run_harness(binary, mode="report", scenario="faults", out=out,
+                        workers=workers)
+            report_digests[f"workers{workers}"] = hashlib.sha256(
+                out.read_bytes()).hexdigest()
+    if len(set(report_digests.values())) != 1:
+        failures.append(f"run_report.jsonl bytes diverge: {report_digests}")
+
+    out = {
+        "description": "Flight-recorder throughput, hot-loop overhead of "
+                       "recorder on vs off (FedCA round loop, CNN/8 clients), "
+                       "and byte-identity of model state + run report across "
+                       "worker counts and recorder on/off.",
+        "events_per_second": round(events["events_per_second"], 1),
+        "events_dropped": events["dropped"],
+        "overhead": {
+            "rounds": args.rounds,
+            "repeat": args.repeat,
+            "seconds_recorder_off": round(arms[0]["seconds"], 6),
+            "seconds_recorder_on": round(arms[1]["seconds"], 6),
+            "events_recorded": arms[1]["events"],
+            "ratio": round(overhead_ratio, 4),
+            "limit": OVERHEAD_LIMIT,
+        },
+        "identity": {
+            "fingerprints": fingerprints,
+            "report_digests": report_digests,
+            "identical": not failures,
+        },
+    }
+    out_path = root / args.out
+    out_path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}", file=sys.stderr)
+
+    print(
+        f"recorder: {out['events_per_second']:.0f} events/s, overhead ratio "
+        f"{out['overhead']['ratio']}x (limit {OVERHEAD_LIMIT}x)",
+        file=sys.stderr,
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,15 @@ Rules (each finding names its rule; see --list-rules):
                     "association" — so every accumulation order is
                     documented as deliberate. Waiver: // lint:fixed-assoc
 
+  wall-clock        The simulation is virtual-time by construction: host
+                    clock reads (std::chrono::steady_clock/system_clock/
+                    high_resolution_clock::now) anywhere in src/ outside
+                    src/obs/ and src/sim/ would leak wall time into
+                    output-affecting code and break run-to-run identity.
+                    bench/ and examples/ may time real work freely.
+                    Waiver: // lint:wallclock (e.g. the thread pool's
+                    task-latency observer, which feeds metrics only).
+
 Usage:
   lint_fedca.py [--root DIR] [--list-rules]
 
@@ -96,11 +105,15 @@ FAST_MATH_FLAGS = [
 FLOAT_ACCUM = re.compile(r"\bfloat\s+\w*(?:acc|sum)\w*", re.IGNORECASE)
 ASSOCIATION_COMMENT = re.compile(r"(?://|\*).*associat", re.IGNORECASE)
 
+WALL_CLOCK = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\b")
+
 WAIVERS = {
     "raw-rng": "lint:rng",
     "unordered-iter": "lint:ordered",
     "raw-tensor-alloc": "lint:alloc",
     "float-accum": "lint:fixed-assoc",
+    "wall-clock": "lint:wallclock",
 }
 
 CXX_EXT = (".cpp", ".hpp", ".cc", ".h")
@@ -214,6 +227,20 @@ def lint_float_accum(rel, lines, findings):
                 "(see tensor/ops.hpp) or waive with // lint:fixed-assoc"))
 
 
+def lint_wall_clock(rel, lines, findings):
+    for no, line in enumerate(lines, 1):
+        if waived("wall-clock", line):
+            continue
+        m = WALL_CLOCK.search(line)
+        if m and not is_comment_or_string_hit(line, m.start()):
+            findings.append(Finding(
+                rel, no, "wall-clock",
+                "host clock read outside src/obs//src/sim — the simulation "
+                "is virtual-time; wall time in output-affecting code breaks "
+                "run identity (waive with // lint:wallclock if it feeds "
+                "observability only)"))
+
+
 def iter_files(root):
     for dirpath, dirnames, filenames in os.walk(root):
         dirnames[:] = sorted(d for d in dirnames
@@ -250,6 +277,9 @@ def lint_tree(root):
         if (posix.startswith(("src/tensor/", "src/nn/"))
                 and base.endswith((".cpp", ".cc"))):
             lint_float_accum(posix, lines, findings)
+        if posix.startswith("src/") and \
+                not posix.startswith(("src/obs/", "src/sim/")):
+            lint_wall_clock(posix, lines, findings)
     return findings
 
 
@@ -264,7 +294,7 @@ def main():
 
     if args.list_rules:
         for rule in ("raw-rng", "unordered-iter", "raw-tensor-alloc",
-                     "fast-math", "float-accum"):
+                     "fast-math", "float-accum", "wall-clock"):
             print(rule)
         return 0
 

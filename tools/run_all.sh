@@ -54,16 +54,29 @@ if [ "${FEDCA_BENCH_MEMORY:-1}" != "0" ]; then
     2>&1 | tee /root/repo/memory_bench_output.txt
 fi
 
+# Recorder/report bench: refresh BENCH_obs.json (recorder throughput, hot-loop
+# overhead recorder-on vs off <= 5%, byte-identity of model state and
+# run_report.jsonl across worker counts). FEDCA_BENCH_OBS=0 skips.
+if [ "${FEDCA_BENCH_OBS:-1}" != "0" ]; then
+  echo "===== obs bench ====="
+  python3 tools/bench_obs.py --build build --out BENCH_obs.json \
+    2>&1 | tee /root/repo/obs_bench_output.txt || exit 1
+fi
+
 # Observability smoke: a traced quickstart must produce a Chrome-trace file
-# that check_trace.py accepts, with the canonical span set present.
+# that check_trace.py accepts, with the canonical span set present, and a
+# run_report.jsonl that tools/report.py validates structurally.
 echo "===== traced quickstart ====="
 FEDCA_TRACE=/root/repo/results/quickstart_trace.json \
 FEDCA_METRICS=/root/repo/results/quickstart_metrics.csv \
   build/examples/quickstart rounds=6 clients=6 k=12 samples=600 \
+  report=/root/repo/results/quickstart_report.jsonl \
   2>&1 | tee /root/repo/trace_output.txt
 python3 tools/check_trace.py /root/repo/results/quickstart_trace.json \
   --expect download --expect compute --expect upload.final --expect aggregate \
   --expect round 2>&1 | tee -a /root/repo/trace_output.txt
+python3 tools/report.py /root/repo/results/quickstart_report.jsonl --summary \
+  2>&1 | tee -a /root/repo/trace_output.txt || exit 1
 
 # TSan pass over the concurrency-sensitive pieces (the metrics registry,
 # the tracer, and the instrumented round engine under the thread pool).
@@ -73,10 +86,12 @@ if [ "${FEDCA_TSAN:-1}" != "0" ]; then
   cmake -B build-tsan -S . -DFEDCA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     >>/root/repo/tsan_output.txt 2>&1 &&
   cmake --build build-tsan --target obs_metrics_test obs_trace_test \
-    fl_round_engine_test fl_parallel_determinism_test fl_async_engine_test \
-    tensor_pool_test -j "$(nproc)" >>/root/repo/tsan_output.txt 2>&1 &&
-  for t in obs_metrics_test obs_trace_test fl_round_engine_test \
-           fl_parallel_determinism_test fl_async_engine_test tensor_pool_test; do
+    obs_recorder_test fl_round_engine_test fl_parallel_determinism_test \
+    fl_async_engine_test tensor_pool_test -j "$(nproc)" \
+    >>/root/repo/tsan_output.txt 2>&1 &&
+  for t in obs_metrics_test obs_trace_test obs_recorder_test \
+           fl_round_engine_test fl_parallel_determinism_test \
+           fl_async_engine_test tensor_pool_test; do
     echo "--- $t (tsan) ---"
     # FEDCA_TENSOR_POOL=1 routes every Tensor buffer through the pool's
     # thread-cache/global-tier handoff while the engines run multithreaded.
