@@ -8,7 +8,10 @@
 //
 // Usage: quickstart [key=value ...]
 //   e.g. quickstart model=cnn clients=16 rounds=30 target=0.5 seed=7
+//   scheme=fedavg,fedca picks which schemes run (comma-separated).
 #include <iostream>
+#include <sstream>
+#include <vector>
 
 #include "core/factory.hpp"
 #include "fl/experiment.hpp"
@@ -28,6 +31,8 @@ int main(int argc, char** argv) {
   options.dirichlet_alpha = config.get_double("alpha", 0.1);
   options.train_samples = static_cast<std::size_t>(config.get_int("samples", 1500));
   options.test_samples = static_cast<std::size_t>(config.get_int("test_samples", 256));
+  options.data_spec.noise_stddev =
+      config.get_double("noise", options.data_spec.noise_stddev);
   options.max_rounds = static_cast<std::size_t>(config.get_int("rounds", 25));
   options.target_accuracy = config.get_double("target", 0.0);
   options.optimizer.learning_rate = config.get_double("lr", 0.05);
@@ -44,9 +49,18 @@ int main(int argc, char** argv) {
 
   util::print_section(std::cout, "FedCA quickstart", config.dump());
 
+  std::vector<std::string> scheme_names;
+  {
+    std::istringstream csv(config.get_string("scheme", "fedavg,fedca"));
+    std::string name;
+    while (std::getline(csv, name, ',')) {
+      if (!name.empty()) scheme_names.push_back(name);
+    }
+  }
+
   util::Table table({"scheme", "rounds", "virtual time (s)", "final accuracy",
                      "mean round (s)", "early stops", "eager layers"});
-  for (const std::string& scheme_name : {std::string("fedavg"), std::string("fedca")}) {
+  for (const std::string& scheme_name : scheme_names) {
     auto scheme = core::make_scheme(scheme_name, config, options.seed);
     const fl::ExperimentResult result = fl::run_experiment(options, *scheme);
     table.add_row({result.scheme_name, std::to_string(result.rounds.size()),

@@ -2,24 +2,22 @@
 // extraction helpers.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/fedca_scheme.hpp"
 #include "fl/experiment.hpp"
+#include "fl/scenario.hpp"
 
 namespace fedca {
 namespace {
 
+// The historical tiny() setup now lives in scenarios/faultfree.scn (also
+// golden-pinned by tools_golden_scenario_faultfree). Scenario tier only —
+// no resolve_options() — so the tests stay hermetic from FEDCA_* env.
 fl::ExperimentOptions tiny() {
-  fl::ExperimentOptions options;
-  options.model = nn::ModelKind::kCnn;
-  options.num_clients = 5;
-  options.local_iterations = 6;
-  options.batch_size = 8;
-  options.train_samples = 300;
-  options.test_samples = 64;
-  options.max_rounds = 4;
-  options.data_spec.noise_stddev = 0.5;  // easy task
-  options.seed = 5;
-  return options;
+  static const fl::Scenario scenario = fl::load_scenario_file(
+      std::string(FEDCA_SOURCE_DIR) + "/scenarios/faultfree.scn");
+  return scenario.options;
 }
 
 TEST(ExperimentSetup, WiresEverything) {

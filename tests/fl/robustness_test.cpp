@@ -25,6 +25,7 @@
 #include "data/synthetic.hpp"
 #include "fl/async_engine.hpp"
 #include "fl/experiment.hpp"
+#include "fl/scenario.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/faults.hpp"
@@ -50,35 +51,26 @@ double counter_value(const std::string& name) {
   return 0.0;
 }
 
-// Small but real experiment (mirrors experiment_test's tiny()).
+// The historical tiny() + chaos_faults() setup now lives in
+// scenarios/chaos.scn (also golden-pinned by tools_golden_scenario_chaos).
+// Scenario tier only — no resolve_options() — so the tests stay hermetic
+// from FEDCA_* env.
+const fl::Scenario& chaos_scenario() {
+  static const fl::Scenario scenario = fl::load_scenario_file(
+      std::string(FEDCA_SOURCE_DIR) + "/scenarios/chaos.scn");
+  return scenario;
+}
+
+// Small but real experiment (mirrors experiment_test's tiny()). Faults
+// are disarmed here; each test installs the schedule it wants.
 fl::ExperimentOptions tiny() {
-  fl::ExperimentOptions options;
-  options.model = nn::ModelKind::kCnn;
-  options.num_clients = 5;
-  options.local_iterations = 5;
-  options.batch_size = 8;
-  options.train_samples = 240;
-  options.test_samples = 48;
-  options.data_spec.noise_stddev = 0.5;
-  options.max_rounds = 3;
-  options.eval_every = 4;  // evaluate round 0 + final round only
-  options.seed = 5;
+  fl::ExperimentOptions options = chaos_scenario().options;
+  options.faults = sim::FaultScheduleOptions{};
   return options;
 }
 
 sim::FaultScheduleOptions chaos_faults(std::uint64_t seed) {
-  sim::FaultScheduleOptions f;
-  f.enabled = true;
-  f.horizon_seconds = 4000.0;
-  f.crash_fraction = 0.25;
-  f.dropouts_per_client = 1.5;
-  f.dropout_mean_seconds = 80.0;
-  f.slowdowns_per_client = 1.25;
-  f.slowdown_mean_seconds = 200.0;
-  f.link_faults_per_client = 0.75;
-  f.link_fault_mean_seconds = 60.0;
-  f.eager_loss_probability = 0.05;
-  f.eager_truncate_probability = 0.05;
+  sim::FaultScheduleOptions f = chaos_scenario().options.faults;
   f.seed = seed;
   return f;
 }

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Golden scenario regression check: runs examples/fedca_scenario for one
+committed scenario at each requested worker count and asserts that every
+run's report digest equals the committed tests/golden/scenario_*.sha256.
+
+Checking several worker counts in one test pins two contracts at once:
+the scenario's behaviour (digest equals the golden) and the scheduler's
+determinism (digest is identical for workers 1, 2, and 8 — reports are
+built from virtual-clock data on the driving thread, so thread count must
+not leak into the bytes).
+
+FEDCA_* environment variables are stripped so only the scenario tier
+feeds the run (plus the explicit report=/workers= overrides, which are
+output plumbing, not experiment configuration).
+
+Usage:
+  golden_scenario_test.py --runner BIN --scenario FILE --golden FILE \
+      [--workers 1,2,8] [--report-py tools/report.py]
+"""
+
+import argparse
+import hashlib
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def clean_env() -> dict:
+    return {k: v for k, v in os.environ.items()
+            if not k.startswith("FEDCA_")}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runner", required=True,
+                        help="fedca_scenario binary")
+    parser.add_argument("--scenario", required=True, help="scenario file")
+    parser.add_argument("--golden", required=True,
+                        help="file holding the expected sha256 digest")
+    parser.add_argument("--workers", default="1,2,8",
+                        help="comma-separated worker counts to assert")
+    parser.add_argument("--report-py", default="",
+                        help="optional tools/report.py for schema validation")
+    args = parser.parse_args()
+
+    expected = Path(args.golden).read_text().strip()
+    name = Path(args.scenario).stem
+    workers = [int(w) for w in args.workers.split(",") if w]
+
+    for count in workers:
+        with tempfile.TemporaryDirectory() as tmp:
+            report = Path(tmp) / "run_report.jsonl"
+            proc = subprocess.run(
+                [args.runner, args.scenario, f"report={report}",
+                 f"workers={count}"],
+                capture_output=True, text=True, env=clean_env())
+            sys.stderr.write(proc.stderr)
+            if proc.returncode != 0:
+                print(f"FAIL: {name} workers={count} exited "
+                      f"{proc.returncode}", file=sys.stderr)
+                return 1
+            digest = hashlib.sha256(report.read_bytes()).hexdigest()
+            if digest != expected:
+                print(f"FAIL: {name} workers={count}: digest {digest} != "
+                      f"golden {expected}", file=sys.stderr)
+                return 1
+            if args.report_py:
+                check = subprocess.run(
+                    [sys.executable, args.report_py, str(report)],
+                    capture_output=True, text=True)
+                if check.returncode != 0:
+                    sys.stderr.write(check.stdout)
+                    sys.stderr.write(check.stderr)
+                    print(f"FAIL: {name} workers={count}: report.py exited "
+                          f"{check.returncode}", file=sys.stderr)
+                    return 1
+    print(f"golden scenario OK: {name} workers={{{args.workers}}}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

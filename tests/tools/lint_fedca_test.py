@@ -269,13 +269,60 @@ class WallClockRule(LintFixtureCase):
         self.assert_clean("// lint:wallclock must waive the finding")
 
 
+class ScenarioHardcodeRule(LintFixtureCase):
+    def test_flags_default_constructed_options(self):
+        self.write("tests/fl/bad_test.cpp",
+                   "fl::ExperimentOptions options;\n"
+                   "options.num_clients = 5;\n")
+        self.assert_flags("scenario-hardcode")
+
+    def test_flags_brace_init(self):
+        self.write("tests/core/bad_test.cpp",
+                   "fl::ExperimentOptions options{};\n")
+        self.assert_flags("scenario-hardcode")
+
+    def test_copy_init_from_loader_is_clean(self):
+        self.write("tests/fl/good_test.cpp",
+                   "const fl::Scenario sc = fl::load_scenario_file(path);\n"
+                   "fl::ExperimentOptions options = sc.options;\n"
+                   "fl::ExperimentOptions tweaked = tiny();\n")
+        self.assert_clean("copy-init from a loaded scenario or helper must "
+                          "not flag")
+
+    def test_reference_parameter_is_clean(self):
+        self.write("tests/fl/good2_test.cpp",
+                   "void probe(const fl::ExperimentOptions& options);\n"
+                   "fl::ExperimentOptions make() { return tiny(); }\n")
+        self.assert_clean()
+
+    def test_src_not_in_scope(self):
+        # The rule targets tests/ only: the library itself may construct
+        # its own options type freely.
+        self.write("src/fl/experiment.cpp",
+                   "ExperimentOptions defaults;\n")
+        self.assert_clean("src/ is outside scenario-hardcode's scope")
+
+    def test_legacy_file_exempt(self):
+        # Frozen pre-DSL offenders stay green until they are converted.
+        self.write("tests/fl/round_engine_test.cpp",
+                   "fl::ExperimentOptions options;\n")
+        self.assert_clean("frozen legacy list must stay exempt")
+
+    def test_waiver_honored(self):
+        self.write("tests/fl/waived_test.cpp",
+                   "fl::ExperimentOptions defaults;  // lint:scenario "
+                   "defaults probe\n")
+        self.assert_clean("// lint:scenario must waive the finding")
+
+
 class CliBehaviour(LintFixtureCase):
     def test_list_rules(self):
         proc = subprocess.run([sys.executable, LINTER, "--list-rules"],
                               capture_output=True, text=True)
         self.assertEqual(proc.returncode, 0)
         for rule in ("raw-rng", "unordered-iter", "raw-tensor-alloc",
-                     "fast-math", "float-accum", "wall-clock"):
+                     "fast-math", "float-accum", "wall-clock",
+                     "scenario-hardcode"):
             self.assertIn(rule, proc.stdout)
 
     def test_missing_root_is_usage_error(self):

@@ -55,6 +55,16 @@ Rules (each finding names its rule; see --list-rules):
                     Waiver: // lint:wallclock (e.g. the thread pool's
                     task-latency observer, which feeds metrics only).
 
+  scenario-hardcode New tests must describe experiments as scenario files
+                    (scenarios/*.scn + fl/scenario.hpp), not hand-built
+                    ExperimentOptions literals: a default-constructed or
+                    brace-initialized `ExperimentOptions x;` declaration in
+                    tests/ is flagged unless the file predates the DSL
+                    (frozen list below) — copy-initialization from a
+                    loaded scenario or helper call is fine.
+                    Waiver: // lint:scenario (e.g. comparing against the
+                    struct's own defaults).
+
 Usage:
   lint_fedca.py [--root DIR] [--list-rules]
 
@@ -108,17 +118,39 @@ ASSOCIATION_COMMENT = re.compile(r"(?://|\*).*associat", re.IGNORECASE)
 WALL_CLOCK = re.compile(
     r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\b")
 
+# Default-construction or brace-init of ExperimentOptions: `Opts x;`,
+# `Opts x{...}`, `Opts x = {...}`. Copy-init from a call (`= tiny()`,
+# `= sc.options`, `= resolve_options(...)`) is the sanctioned pattern and
+# does not match.
+SCENARIO_HARDCODE = re.compile(r"\bExperimentOptions\s+\w+\s*(?:;|\{|=\s*\{)")
+
+# Tests that hand-built ExperimentOptions before the scenario DSL existed.
+# Frozen: convert a file to a loaded scenario to remove it; never add to
+# this list — new tests load scenarios/*.scn.
+SCENARIO_HARDCODE_LEGACY = {
+    "tests/bench/bench_common_test.cpp",
+    "tests/core/adaptive_lr_test.cpp",
+    "tests/core/edge_cases_test.cpp",
+    "tests/core/fedca_test.cpp",
+    "tests/fl/compression_test.cpp",
+    "tests/fl/parallel_determinism_test.cpp",
+    "tests/fl/participation_test.cpp",
+    "tests/fl/round_engine_test.cpp",
+    "tests/obs/round_report_test.cpp",
+}
+
 WAIVERS = {
     "raw-rng": "lint:rng",
     "unordered-iter": "lint:ordered",
     "raw-tensor-alloc": "lint:alloc",
     "float-accum": "lint:fixed-assoc",
     "wall-clock": "lint:wallclock",
+    "scenario-hardcode": "lint:scenario",
 }
 
 CXX_EXT = (".cpp", ".hpp", ".cc", ".h")
 SKIP_DIR_PARTS = {".git", "build", "build-tsan", "build-asan", "build-sa",
-                  "results", "third_party", "tests"}
+                  "results", "third_party"}
 
 
 def is_comment_or_string_hit(line, match_start):
@@ -241,6 +273,21 @@ def lint_wall_clock(rel, lines, findings):
                 "observability only)"))
 
 
+def lint_scenario_hardcode(rel, lines, findings):
+    if rel in SCENARIO_HARDCODE_LEGACY:
+        return
+    for no, line in enumerate(lines, 1):
+        if waived("scenario-hardcode", line):
+            continue
+        m = SCENARIO_HARDCODE.search(line)
+        if m and not is_comment_or_string_hit(line, m.start()):
+            findings.append(Finding(
+                rel, no, "scenario-hardcode",
+                "hand-built ExperimentOptions in a test — load a committed "
+                "scenarios/*.scn via fl::load_scenario_file instead (waive "
+                "with // lint:scenario)"))
+
+
 def iter_files(root):
     for dirpath, dirnames, filenames in os.walk(root):
         dirnames[:] = sorted(d for d in dirnames
@@ -280,6 +327,8 @@ def lint_tree(root):
         if posix.startswith("src/") and \
                 not posix.startswith(("src/obs/", "src/sim/")):
             lint_wall_clock(posix, lines, findings)
+        if posix.startswith("tests/"):
+            lint_scenario_hardcode(posix, lines, findings)
     return findings
 
 
@@ -294,7 +343,8 @@ def main():
 
     if args.list_rules:
         for rule in ("raw-rng", "unordered-iter", "raw-tensor-alloc",
-                     "fast-math", "float-accum", "wall-clock"):
+                     "fast-math", "float-accum", "wall-clock",
+                     "scenario-hardcode"):
             print(rule)
         return 0
 

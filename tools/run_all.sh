@@ -36,6 +36,18 @@ for b in build/bench/*; do
   "$b" csv_dir=/root/repo/results
 done 2>&1 | tee /root/repo/bench_output.txt
 
+# Scenario regression net: every committed scenarios/*.scn must reproduce
+# its pinned run-report digest (tests/golden/scenario_*.sha256). This is
+# the same check the per-scenario ctest entries run, but standalone so a
+# golden drift is reported with the offending digest up front.
+# FEDCA_SCENARIOS=0 skips; regenerate goldens with
+# `python3 tools/scenario_digest.py --build build --update`.
+if [ "${FEDCA_SCENARIOS:-1}" != "0" ]; then
+  echo "===== scenario goldens ====="
+  python3 tools/scenario_digest.py --build build --check \
+    2>&1 | tee /root/repo/scenario_output.txt || exit 1
+fi
+
 # Kernel bench smoke: refresh BENCH_kernels.json (before/after numbers for
 # the blocked GEMM + parallel engine work). The kernel sources are compiled
 # -O3 regardless of the top-level build type; FEDCA_BENCH_KERNELS=0 skips.

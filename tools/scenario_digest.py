@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Golden digests for committed scenarios.
+
+Runs examples/fedca_scenario for each scenario in scenarios/, hashes the
+emitted run report (sha256 of the raw bytes), and compares against —
+or rewrites — the committed digest in tests/golden/scenario_<name>.sha256.
+
+The environment's FEDCA_* variables are stripped before each run so the
+digest reflects the scenario tier alone (scenario < env < programmatic:
+a stray FEDCA_THREADS or FEDCA_REPORT must not leak into goldens; worker
+count doesn't change report bytes, but the principle is hermeticity).
+
+Usage:
+  scenario_digest.py --build build --check [NAME ...]
+  scenario_digest.py --build build --update [NAME ...]
+
+With no names, all scenarios/*.scn are covered. Exit codes: 0 all match
+(or updated), 1 digest mismatch / run failure, 2 usage or setup error.
+"""
+
+import argparse
+import hashlib
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def clean_env() -> dict:
+    env = {k: v for k, v in os.environ.items()
+           if not k.startswith("FEDCA_")}
+    return env
+
+
+def run_scenario(runner: Path, scenario: Path, report: Path) -> bool:
+    proc = subprocess.run(
+        [str(runner), str(scenario), f"report={report}"],
+        capture_output=True, text=True, env=clean_env())
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        print(f"FAIL: {runner.name} {scenario.name} exited {proc.returncode}",
+              file=sys.stderr)
+        return False
+    if not report.exists():
+        print(f"FAIL: {scenario.name} produced no report", file=sys.stderr)
+        return False
+    return True
+
+
+def digest_of(report: Path) -> str:
+    return hashlib.sha256(report.read_bytes()).hexdigest()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build", default="build",
+                        help="build directory holding examples/fedca_scenario")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--check", action="store_true",
+                      help="compare digests against tests/golden/")
+    mode.add_argument("--update", action="store_true",
+                      help="rewrite tests/golden/ digests")
+    parser.add_argument("names", nargs="*",
+                        help="scenario names (default: all in scenarios/)")
+    args = parser.parse_args()
+
+    runner = REPO / args.build / "examples" / "fedca_scenario"
+    if not runner.exists():
+        print(f"error: {runner} not built (cmake --build {args.build})",
+              file=sys.stderr)
+        return 2
+
+    scenario_dir = REPO / "scenarios"
+    if args.names:
+        scenarios = [scenario_dir / f"{n}.scn" for n in args.names]
+        missing = [s for s in scenarios if not s.exists()]
+        if missing:
+            print(f"error: no such scenario: "
+                  f"{', '.join(m.stem for m in missing)}", file=sys.stderr)
+            return 2
+    else:
+        scenarios = sorted(scenario_dir.glob("*.scn"))
+    if not scenarios:
+        print("error: no scenarios found", file=sys.stderr)
+        return 2
+
+    golden_dir = REPO / "tests" / "golden"
+    failures = 0
+    for scenario in scenarios:
+        golden = golden_dir / f"scenario_{scenario.stem}.sha256"
+        with tempfile.TemporaryDirectory() as tmp:
+            report = Path(tmp) / "run_report.jsonl"
+            if not run_scenario(runner, scenario, report):
+                failures += 1
+                continue
+            digest = digest_of(report)
+        if args.update:
+            golden.write_text(digest + "\n")
+            print(f"updated {golden.relative_to(REPO)}: {digest}")
+            continue
+        if not golden.exists():
+            print(f"FAIL: {scenario.stem}: missing golden {golden.name} "
+                  f"(run with --update)", file=sys.stderr)
+            failures += 1
+            continue
+        expected = golden.read_text().strip()
+        if digest != expected:
+            print(f"FAIL: {scenario.stem}: digest {digest} != golden "
+                  f"{expected}", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"ok: {scenario.stem} {digest}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
