@@ -39,6 +39,18 @@ double paper_target_accuracy(nn::ModelKind kind);
 void maybe_save_csv(const util::Table& table, const util::Config& config,
                     const std::string& name);
 
+// Build provenance stamped into every machine-readable bench output:
+// "release" when the includer was compiled with NDEBUG (Release /
+// RelWithDebInfo), "debug" otherwise. The BENCH_*.json runners refuse to
+// overwrite checked-in numbers from a debug build (exit 2).
+inline const char* build_type() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
 // Exact statistical-progress curves of one profiled round.
 struct RoundCurves {
   std::size_t round_index = 0;

@@ -24,6 +24,7 @@
 
 #include "bench/common.hpp"
 #include "tensor/pool.hpp"
+#include "tensor/simd/dispatch.hpp"
 
 namespace {
 
@@ -162,11 +163,13 @@ int main(int argc, char** argv) {
 
   const double n = static_cast<double>(rounds == 0 ? 1 : rounds);
   std::printf(
-      "{\"pool\":%d,\"rounds\":%zu,\"workers\":%zu,"
+      "{\"build_type\":\"%s\",\"simd_tier\":\"%s\","
+      "\"pool\":%d,\"rounds\":%zu,\"workers\":%zu,"
       "\"allocs_per_round\":%.1f,\"frees_per_round\":%.1f,"
       "\"alloc_bytes_per_round\":%.1f,\"peak_bytes\":%" PRId64
       ",\"pool_hits\":%" PRIu64 ",\"pool_misses\":%" PRIu64
       ",\"pool_bytes_held\":%zu}\n",
+      bench::build_type(), tensor::simd::active_tier_name(),
       pool, rounds, workers,
       static_cast<double>(after.allocs - before.allocs) / n,
       static_cast<double>(after.frees - before.frees) / n,

@@ -15,10 +15,12 @@
 #include "fl/scheme.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/models.hpp"
+#include "bench/common.hpp"
 #include "tensor/pool.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/simd/dispatch.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -340,4 +342,16 @@ BENCHMARK(BM_RoundThroughputPooled)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecon
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus provenance: the dispatch tier and build type go
+// into the JSON context so a checked-in BENCH_kernels.json says what it
+// measured (tools/bench_kernels.py refuses debug-build numbers).
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("fedca_build_type", fedca::bench::build_type());
+  benchmark::AddCustomContext("fedca_simd_tier",
+                              fedca::tensor::simd::active_tier_name());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

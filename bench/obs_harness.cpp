@@ -34,6 +34,7 @@
 #include "obs/recorder.hpp"
 #include "obs/round_report.hpp"
 #include "obs/trace.hpp"
+#include "tensor/simd/dispatch.hpp"
 
 namespace {
 
@@ -131,9 +132,11 @@ int run_events(const util::Config& config) {
   const std::uint64_t total =
       static_cast<std::uint64_t>(threads) * static_cast<std::uint64_t>(count);
   std::printf(
-      "{\"mode\":\"events\",\"threads\":%zu,\"count\":%zu,"
+      "{\"mode\":\"events\",\"build_type\":\"%s\",\"simd_tier\":\"%s\","
+      "\"threads\":%zu,\"count\":%zu,"
       "\"seconds\":%.6f,\"events_per_second\":%.1f,"
       "\"drained\":%llu,\"dropped\":%llu}\n",
+      bench::build_type(), tensor::simd::active_tier_name(),
       threads, count, seconds,
       static_cast<double>(total) / (seconds > 0.0 ? seconds : 1e-9),
       static_cast<unsigned long long>(drained.load()),
@@ -163,8 +166,10 @@ int run_overhead(const util::Config& config) {
   const double seconds = wall_seconds() - start;
 
   std::printf(
-      "{\"mode\":\"overhead\",\"trace\":%d,\"rounds\":%zu,\"workers\":%zu,"
+      "{\"mode\":\"overhead\",\"build_type\":\"%s\",\"simd_tier\":\"%s\","
+      "\"trace\":%d,\"rounds\":%zu,\"workers\":%zu,"
       "\"seconds\":%.6f,\"events\":%zu,\"dropped\":%llu}\n",
+      bench::build_type(), tensor::simd::active_tier_name(),
       trace ? 1 : 0, rounds, workers, seconds,
       trace ? collector.event_count() : 0,
       static_cast<unsigned long long>(obs::Recorder::global().dropped_total()));
@@ -188,8 +193,10 @@ int run_identity(const util::Config& config) {
   for (std::size_t r = 0; r < rounds; ++r) setup.engine->run_round();
 
   std::printf(
-      "{\"mode\":\"identity\",\"scenario\":\"%s\",\"trace\":%d,"
+      "{\"mode\":\"identity\",\"build_type\":\"%s\",\"simd_tier\":\"%s\","
+      "\"scenario\":\"%s\",\"trace\":%d,"
       "\"workers\":%zu,\"rounds\":%zu,\"fingerprint\":\"%016llx\"}\n",
+      bench::build_type(), tensor::simd::active_tier_name(),
       scenario.c_str(), trace ? 1 : 0, workers, rounds,
       static_cast<unsigned long long>(
           state_fingerprint(setup.engine->global_state())));
@@ -224,8 +231,11 @@ int run_report(const util::Config& config) {
   }
 
   obs::RoundReportWriter& reporter = obs::RoundReportWriter::global();
-  std::printf("{\"mode\":\"report\",\"scenario\":\"%s\",\"out\":\"%s\",\"lines\":%zu}\n",
-              scenario.c_str(), out.c_str(), reporter.line_count());
+  std::printf(
+      "{\"mode\":\"report\",\"build_type\":\"%s\",\"simd_tier\":\"%s\","
+      "\"scenario\":\"%s\",\"out\":\"%s\",\"lines\":%zu}\n",
+      bench::build_type(), tensor::simd::active_tier_name(), scenario.c_str(),
+      out.c_str(), reporter.line_count());
   return 0;
 }
 

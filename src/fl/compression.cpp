@@ -91,12 +91,36 @@ double TopKSparsifier::compress(tensor::Tensor& layer_update, double bytes_per_p
   return static_cast<double>(k) * bytes_per_param * 2.0;
 }
 
+double Int8Quantizer::compress(tensor::Tensor& layer_update,
+                               double bytes_per_param) {
+  const std::size_t n = layer_update.numel();
+  if (n == 0) return 0.0;  // nothing on the wire
+  const tensor::QuantParams p = tensor::compute_quant_params(layer_update.data());
+  tensor::fake_quantize_int8(layer_update.data(), p);
+  // Wire: scale + zero-point header, then one int8 code per element. The
+  // bytes_per_param scale maps native scalars to paper-scale wire cost.
+  const double ratio = bits_per_element() / 32.0;
+  return header_bytes() + static_cast<double>(n) * bytes_per_param * ratio;
+}
+
+EagerWire parse_eager_wire(const std::string& name) {
+  if (name == "fp32") return EagerWire::kFp32;
+  if (name == "int8") return EagerWire::kInt8;
+  throw std::invalid_argument("parse_eager_wire: expected fp32 or int8, got '" +
+                              name + "'");
+}
+
+const char* eager_wire_name(EagerWire wire) {
+  return wire == EagerWire::kInt8 ? "int8" : "fp32";
+}
+
 std::unique_ptr<UpdateCompressor> make_compressor(const std::string& kind,
                                                   std::size_t qsgd_levels,
                                                   double topk_fraction, util::Rng rng) {
   if (kind == "none" || kind.empty()) return std::make_unique<IdentityCompressor>();
   if (kind == "qsgd") return std::make_unique<QsgdQuantizer>(qsgd_levels, rng);
   if (kind == "topk") return std::make_unique<TopKSparsifier>(topk_fraction);
+  if (kind == "int8") return std::make_unique<Int8Quantizer>();
   throw std::invalid_argument("make_compressor: unknown kind '" + kind + "'");
 }
 

@@ -69,7 +69,37 @@ class TopKSparsifier : public UpdateCompressor {
   double fraction_;
 };
 
-// Named constructor used by the scheme factory: "none" | "qsgd" | "topk".
+// Deterministic int8 affine quantizer (per-layer scale + zero-point,
+// zero exactly representable so untouched entries survive the round trip).
+// Unlike QSGD this codec is RNG-free: nearest-even rounding in every SIMD
+// tier, so the decompressed values are bit-identical across tiers and
+// worker counts. Used standalone via make_compressor("int8") and as the
+// eager wire format (EagerWire::kInt8 below).
+class Int8Quantizer : public UpdateCompressor {
+ public:
+  std::string name() const override { return "int8"; }
+  double compress(tensor::Tensor& layer_update, double bytes_per_param) override;
+
+  // Wire bits per element: one int8 code.
+  static double bits_per_element() { return 8.0; }
+  // Per-layer wire header: float32 scale + int32 zero-point.
+  static double header_bytes() { return 8.0; }
+};
+
+// Wire format of eager layer transmissions (Sec. 4.3 overlap path).
+//   kFp32: eager layers ride the scheme's configured codec (or raw float32
+//          when the scheme has none) — the historical behavior.
+//   kInt8: eager layers are int8-quantized (Int8Quantizer); the residual is
+//          corrected by the existing error-feedback retransmission path,
+//          which still uses the full-precision final upload.
+enum class EagerWire { kFp32, kInt8 };
+
+// "fp32" | "int8"; throws std::invalid_argument on anything else.
+EagerWire parse_eager_wire(const std::string& name);
+const char* eager_wire_name(EagerWire wire);
+
+// Named constructor used by the scheme factory:
+// "none" | "qsgd" | "topk" | "int8".
 std::unique_ptr<UpdateCompressor> make_compressor(const std::string& kind,
                                                   std::size_t qsgd_levels,
                                                   double topk_fraction,

@@ -78,6 +78,7 @@ ExperimentSetup make_setup(const ExperimentOptions& options, Scheme& scheme) {
   engine_options.collect_fraction = options.collect_fraction;
   engine_options.participation_fraction = options.participation_fraction;
   engine_options.upload_timeout = options.upload_timeout;
+  engine_options.eager_wire = options.eager_wire;
   engine_options.worker_threads = options.worker_threads;
   setup.engine = std::make_unique<RoundEngine>(setup.model.get(), setup.cluster.get(),
                                                setup.shards, &scheme, engine_options,
@@ -122,6 +123,7 @@ RoundSummary summarize(const RoundRecord& record) {
     c.arrival_time = r.arrival_time;
     c.compute_seconds = r.compute_seconds;
     c.bytes_sent = r.bytes_sent;
+    c.eager_bytes = r.eager_bytes;
     c.failed = r.failed;
     const auto it = collected.find(i);
     c.collected = it != collected.end();

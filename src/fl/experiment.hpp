@@ -39,6 +39,10 @@ struct ExperimentOptions {
   double participation_fraction = 1.0;
   // Round-relative upload cut-off (see RoundEngineOptions::upload_timeout).
   double upload_timeout = kNoDeadline;
+  // Wire format for eager layer transmissions (see
+  // RoundEngineOptions::eager_wire): kInt8 quantizes each eager layer to
+  // int8 codes, ~4x fewer bytes, residual corrected by error feedback.
+  EagerWire eager_wire = EagerWire::kFp32;
   // Fault injection (disabled by default: `faults.enabled == false` keeps
   // the run bit-identical to a build without the fault layer).
   sim::FaultScheduleOptions faults;
@@ -77,6 +81,7 @@ struct ClientRoundSummary {
   double arrival_time = 0.0;
   double compute_seconds = 0.0;
   double bytes_sent = 0.0;
+  double eager_bytes = 0.0;  // eager-transmission share of bytes_sent
   bool collected = false;
   // Normalized aggregation weight when collected (0 otherwise); the
   // collected weights of a round sum to 1.

@@ -389,6 +389,7 @@ RoundRecord RoundEngine::run_round() {
                        : obs::kNoTime;
       c.compute_seconds = r.compute_seconds;
       c.bytes_sent = r.bytes_sent;
+      c.eager_bytes = r.eager_bytes;
       c.eager_layers = r.eager.size();
       c.retransmitted_layers = r.retransmitted_layers;
       report.clients.push_back(std::move(c));
@@ -574,13 +575,23 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
       eager.layer = layer;
       eager.iteration = tau;
       tensor::sub_into(params[layer]->value, global_.tensors[layer], eager.value);
-      const double layer_bytes =
-          compressor ? compressor->compress(eager.value, bytes_per_param)
-                     : static_cast<double>(eager.value.numel()) * bytes_per_param;
+      double layer_bytes;
+      if (options_.eager_wire == EagerWire::kInt8) {
+        // Quantized eager wire: int8 codes replace the scheme codec on
+        // this path only; the final upload (and any retransmission) stays
+        // on the scheme codec, so error feedback absorbs the residual.
+        Int8Quantizer int8_codec;
+        layer_bytes = int8_codec.compress(eager.value, bytes_per_param);
+      } else {
+        layer_bytes =
+            compressor ? compressor->compress(eager.value, bytes_per_param)
+                       : static_cast<double>(eager.value.numel()) * bytes_per_param;
+      }
       const sim::Transfer transfer = device.uplink().transmit(t, layer_bytes);
       eager.send_time = transfer.start;
       eager.arrival_time = transfer.end;
       result.bytes_sent += layer_bytes;
+      result.eager_bytes += layer_bytes;
       FEDCA_MCOUNT("engine.eager_transmissions", 1.0);
       if (faults != nullptr) {
         // Seeded in-flight loss/corruption of the eager payload. Either

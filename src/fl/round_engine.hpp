@@ -57,6 +57,12 @@ struct RoundEngineOptions {
   // survivors are re-weighted to sum to 1). kNoDeadline disables the
   // cut-off; the default keeps the fault-free behavior bit-identical.
   double upload_timeout = kNoDeadline;
+  // Wire format for eager layer transmissions. kInt8 sends each eager
+  // layer as int8 codes (per-layer scale + zero-point, ~4x fewer bytes);
+  // the quantization residual is corrected by the ordinary error-feedback
+  // retransmission path, whose final upload stays full-precision. kFp32
+  // keeps the historical behavior (the scheme's codec, or raw float32).
+  EagerWire eager_wire = EagerWire::kFp32;
   // Worker threads for concurrent client training: 0 resolves through the
   // FEDCA_THREADS environment variable (falling back to hardware
   // concurrency), 1 forces serial execution. Results are bit-identical for

@@ -180,6 +180,15 @@ Scenario parse_scenario(const std::string& text, const std::string& filename) {
       "training", "weight_decay", o.optimizer.weight_decay, 0.0, 1.0);
   o.optimizer.prox_mu =
       doc.get_double("training", "prox_mu", o.optimizer.prox_mu, 0.0, 1000.0);
+  const std::string wire =
+      doc.get_string("training", "eager_wire", eager_wire_name(o.eager_wire));
+  try {
+    o.eager_wire = parse_eager_wire(wire);
+  } catch (const std::invalid_argument&) {
+    throw ScenarioError(doc.filename(), doc.line_of("training", "eager_wire"),
+                        "key 'eager_wire': expected fp32 or int8, got '" +
+                            wire + "'");
+  }
 
   // [server]
   doc.allow_section("server");
@@ -354,6 +363,7 @@ std::string to_string(const Scenario& sc) {
   kvd("lr", o.optimizer.learning_rate);
   kvd("weight_decay", o.optimizer.weight_decay);
   kvd("prox_mu", o.optimizer.prox_mu);
+  kv("eager_wire", eager_wire_name(o.eager_wire));
 
   out << "\n[server]\n";
   kvd("collect_fraction", o.collect_fraction);

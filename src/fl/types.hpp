@@ -50,6 +50,7 @@ struct ClientRoundResult {
   double compute_done = 0.0;       // end of last local iteration
   double compute_seconds = 0.0;    // compute_done - download_done
   double bytes_sent = 0.0;         // uplink payload incl. retransmissions
+  double eager_bytes = 0.0;        // eager-transmission share of bytes_sent
   double mean_local_loss = 0.0;
   std::vector<EagerRecord> eager;  // one entry per eagerly transmitted layer
   std::size_t retransmitted_layers = 0;

@@ -51,6 +51,7 @@ void finalize_round_report(RoundReport& report) {
   report.collected = report.shed = report.timed_out = 0;
   report.crashed = report.dropout = report.link_outage = 0;
   report.early_stops = report.eager_layers = report.retransmitted_layers = 0;
+  report.eager_bytes = 0.0;
   report.stragglers = 0;
   report.straggler_threshold = kNoTime;
   report.deadline_overrun = false;
@@ -70,6 +71,7 @@ void finalize_round_report(RoundReport& report) {
     else if (c.outcome == "link_outage") ++report.link_outage;
     if (c.early_stopped) ++report.early_stops;
     report.eager_layers += c.eager_layers;
+    report.eager_bytes += c.eager_bytes;
     report.retransmitted_layers += c.retransmitted_layers;
     if (std::isfinite(c.duration)) finite.push_back(i);
   }
@@ -123,6 +125,7 @@ std::string to_json_line(const RoundReport& r) {
   out += ",\"link_outage\":" + std::to_string(r.link_outage);
   out += ",\"early_stops\":" + std::to_string(r.early_stops);
   out += ",\"eager_layers\":" + std::to_string(r.eager_layers);
+  out += ",\"eager_bytes\":" + json_num(r.eager_bytes);
   out += ",\"eager_retransmitted\":" + std::to_string(r.retransmitted_layers);
   out += ",\"realized_p50\":" + json_num(r.realized_p50);
   out += ",\"realized_p90\":" + json_num(r.realized_p90);
@@ -146,6 +149,7 @@ std::string to_json_line(const RoundReport& r) {
     out += ",\"compute_seconds\":" + json_num(c.compute_seconds);
     out += ",\"bytes_sent\":" + json_num(c.bytes_sent);
     out += ",\"eager_layers\":" + std::to_string(c.eager_layers);
+    out += ",\"eager_bytes\":" + json_num(c.eager_bytes);
     out += ",\"eager_retransmitted\":" + std::to_string(c.retransmitted_layers);
     out += ",\"straggler\":";
     out += json_bool(c.straggler);

@@ -60,6 +60,7 @@ struct ClientRoundReport {
   double duration = kNoTime;  // arrival − round start; kNoTime = never arrived
   double compute_seconds = 0.0;
   double bytes_sent = 0.0;
+  double eager_bytes = 0.0;  // eager-transmission share of bytes_sent
   std::size_t eager_layers = 0;
   std::size_t retransmitted_layers = 0;
   double weight = 0.0;  // aggregation weight (0 unless collected)
@@ -83,6 +84,7 @@ struct RoundReport {
   std::size_t link_outage = 0;
   std::size_t early_stops = 0;
   std::size_t eager_layers = 0;
+  double eager_bytes = 0.0;  // summed over clients
   std::size_t retransmitted_layers = 0;
   double realized_p50 = kNoTime;  // percentiles of realized durations
   double realized_p90 = kNoTime;

@@ -4,7 +4,11 @@
 #include <atomic>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
+#include "tensor/pool.hpp"
+#include "tensor/simd/dispatch.hpp"
+#include "tensor/simd/kernels.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fedca::tensor {
@@ -20,6 +24,22 @@ void require_equal_size(std::span<const float> x, std::span<const float> y,
   }
 }
 
+// True when the dispatcher routed this process to an x86 vector tier (the
+// AVX-512 tier reuses the AVX2 span kernels; only its GEMM microkernel
+// widens).
+inline bool use_avx2() {
+#if defined(__x86_64__) || defined(_M_X64)
+  const simd::Tier t = simd::active_tier();
+  return t == simd::Tier::kAvx2 || t == simd::Tier::kAvx512;
+#else
+  return false;
+#endif
+}
+
+#if defined(__ARM_NEON)
+inline bool use_neon() { return simd::active_tier() == simd::Tier::kNeon; }
+#endif
+
 }  // namespace
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {
@@ -27,7 +47,19 @@ void axpy(float alpha, std::span<const float> x, std::span<float> y) {
   const float* px = x.data();
   float* py = y.data();
   const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+#if defined(__x86_64__) || defined(_M_X64)
+  if (use_avx2()) {
+    simd::axpy_avx2(alpha, px, py, n);
+    return;
+  }
+#endif
+#if defined(__ARM_NEON)
+  if (use_neon()) {
+    simd::axpy_neon(alpha, px, py, n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) py[i] = std::fma(alpha, px[i], py[i]);
 }
 
 void copy(std::span<const float> x, std::span<float> y) {
@@ -38,6 +70,18 @@ void copy(std::span<const float> x, std::span<float> y) {
 void scale(float alpha, std::span<float> y) {
   float* py = y.data();
   const std::size_t n = y.size();
+#if defined(__x86_64__) || defined(_M_X64)
+  if (use_avx2()) {
+    simd::scale_avx2(alpha, py, n);
+    return;
+  }
+#endif
+#if defined(__ARM_NEON)
+  if (use_neon()) {
+    simd::scale_neon(alpha, py, n);
+    return;
+  }
+#endif
   for (std::size_t i = 0; i < n; ++i) py[i] *= alpha;
 }
 
@@ -46,7 +90,8 @@ namespace {
 // Lane width for the double-accumulating span reductions. Eight
 // independent double lanes map onto one 512-bit (or two 256-bit) vector
 // accumulators; the final combine is a fixed halving tree, so the result
-// does not depend on the vector width the compiler picks.
+// does not depend on the vector width the compiler (or the AVX2 tier)
+// picks.
 constexpr std::size_t kRedLanes = 8;
 
 double reduce_lanes(double (&acc)[kRedLanes]) {
@@ -63,6 +108,9 @@ double dot(std::span<const float> x, std::span<const float> y) {
   const float* px = x.data();
   const float* py = y.data();
   const std::size_t n = x.size();
+#if defined(__x86_64__) || defined(_M_X64)
+  if (use_avx2()) return simd::dot_avx2(px, py, n);
+#endif
   double acc[kRedLanes] = {};
   std::size_t i = 0;
   for (; i + kRedLanes <= n; i += kRedLanes) {
@@ -82,6 +130,9 @@ double l2_norm(std::span<const float> x) { return std::sqrt(dot(x, x)); }
 double l1_norm(std::span<const float> x) {
   const float* px = x.data();
   const std::size_t n = x.size();
+#if defined(__x86_64__) || defined(_M_X64)
+  if (use_avx2()) return simd::l1_norm_avx2(px, n);
+#endif
   double acc[kRedLanes] = {};
   std::size_t i = 0;
   for (; i + kRedLanes <= n; i += kRedLanes) {
@@ -119,6 +170,12 @@ void bias_add(std::span<float> out, std::size_t rows, std::span<const float> bia
                                 " != rows*cols " + std::to_string(rows * cols));
   }
   const float* pb = bias.data();
+#if defined(__x86_64__) || defined(_M_X64)
+  if (use_avx2()) {
+    simd::bias_add_avx2(out.data(), rows, pb, cols);
+    return;
+  }
+#endif
   for (std::size_t r = 0; r < rows; ++r) {
     float* prow = out.data() + r * cols;
     for (std::size_t j = 0; j < cols; ++j) prow[j] += pb[j];
@@ -132,6 +189,12 @@ void row_sum(std::span<const float> in, std::size_t rows, std::span<float> out) 
                                 " != rows*cols " + std::to_string(rows * cols));
   }
   float* po = out.data();
+#if defined(__x86_64__) || defined(_M_X64)
+  if (use_avx2()) {
+    simd::row_sum_avx2(in.data(), rows, po, cols);
+    return;
+  }
+#endif
   for (std::size_t r = 0; r < rows; ++r) {
     const float* prow = in.data() + r * cols;
     for (std::size_t j = 0; j < cols; ++j) po[j] += prow[j];
@@ -205,101 +268,223 @@ void require_matrix(const Tensor& t, const char* name) {
   }
 }
 
-// ---- Blocked GEMM cores -------------------------------------------------
+// ---- Packed GEMM driver -------------------------------------------------
 //
-// Blocking constants. kKc k-rows of B are kept hot in L1/L2 while a panel
-// of kNc output columns is updated; A rows are register-tiled kMr at a
-// time and k is unrolled by kKu. The association order of every C element
-// is a function of these constants only — never of thread count — so
-// output is bit-stable (see the policy note in ops.hpp).
-constexpr std::size_t kKc = 256;
-constexpr std::size_t kNc = 512;
-constexpr std::size_t kMr = 4;
-constexpr std::size_t kKu = 4;
+// One cache-blocked, panel-packed core serves all three variants
+// (plain / B-transposed / A-transposed): transposition is absorbed by the
+// packing routines, so gemm_nt and gemm_tn run the exact same microkernel
+// as plain gemm instead of their own strided loops. Blocking: an Mc x Kc
+// block of op(A) and a Kc x Nc block of op(B) are repacked into kMr- /
+// kNr-wide zero-padded panels and swept by the register-tiled microkernel
+// (portable fma chains or the AVX2 tier, chosen per call by the
+// dispatcher).
+//
+// Association order: every C element is one fma chain over k ascending,
+// carried through C memory between k-blocks. The chain is independent of
+// the blocking constants, the packing, the microkernel tier, and the
+// thread partition (rows are never split), which is what keeps output
+// bit-identical across FEDCA_SIMD tiers and worker counts.
+constexpr std::size_t kMc = 96;   // rows of op(A) per packed block
+constexpr std::size_t kKc = 256;  // shared-k slice per packed block
+constexpr std::size_t kNc = 512;  // columns of op(B) per packed block
 
-// C rows [i0, i1) of C(mxn) = A(mxk) * B(kxn). Each row's reduction is
-// computed entirely by the caller's thread, which is what makes the
-// parallel row-block path bit-identical to serial.
-void gemm_rows(const float* __restrict__ pa, const float* __restrict__ pb,
-               float* __restrict__ pc, std::size_t i0, std::size_t i1,
-               std::size_t k, std::size_t n) {
-  for (std::size_t jc = 0; jc < n; jc += kNc) {
-    const std::size_t jb = std::min(kNc, n - jc);
-    for (std::size_t kc = 0; kc < k; kc += kKc) {
-      const std::size_t kend = kc + std::min(kKc, k - kc);
-      const bool first = kc == 0;
-      std::size_t i = i0;
-      for (; i + kMr <= i1; i += kMr) {
-        const float* __restrict__ a0 = pa + (i + 0) * k;
-        const float* __restrict__ a1 = pa + (i + 1) * k;
-        const float* __restrict__ a2 = pa + (i + 2) * k;
-        const float* __restrict__ a3 = pa + (i + 3) * k;
-        float* __restrict__ c0 = pc + (i + 0) * n + jc;
-        float* __restrict__ c1 = pc + (i + 1) * n + jc;
-        float* __restrict__ c2 = pc + (i + 2) * n + jc;
-        float* __restrict__ c3 = pc + (i + 3) * n + jc;
-        if (first) {
-          std::fill(c0, c0 + jb, 0.0f);
-          std::fill(c1, c1 + jb, 0.0f);
-          std::fill(c2, c2 + jb, 0.0f);
-          std::fill(c3, c3 + jb, 0.0f);
-        }
-        std::size_t kk = kc;
-        for (; kk + kKu <= kend; kk += kKu) {
-          const float a00 = a0[kk], a01 = a0[kk + 1], a02 = a0[kk + 2], a03 = a0[kk + 3];
-          const float a10 = a1[kk], a11 = a1[kk + 1], a12 = a1[kk + 2], a13 = a1[kk + 3];
-          const float a20 = a2[kk], a21 = a2[kk + 1], a22 = a2[kk + 2], a23 = a2[kk + 3];
-          const float a30 = a3[kk], a31 = a3[kk + 1], a32 = a3[kk + 2], a33 = a3[kk + 3];
-          const float* __restrict__ b0 = pb + (kk + 0) * n + jc;
-          const float* __restrict__ b1 = pb + (kk + 1) * n + jc;
-          const float* __restrict__ b2 = pb + (kk + 2) * n + jc;
-          const float* __restrict__ b3 = pb + (kk + 3) * n + jc;
-          for (std::size_t j = 0; j < jb; ++j) {
-            c0[j] += a00 * b0[j] + a01 * b1[j] + a02 * b2[j] + a03 * b3[j];
-            c1[j] += a10 * b0[j] + a11 * b1[j] + a12 * b2[j] + a13 * b3[j];
-            c2[j] += a20 * b0[j] + a21 * b1[j] + a22 * b2[j] + a23 * b3[j];
-            c3[j] += a30 * b0[j] + a31 * b1[j] + a32 * b2[j] + a33 * b3[j];
-          }
-        }
-        for (; kk < kend; ++kk) {
-          const float v0 = a0[kk], v1 = a1[kk], v2 = a2[kk], v3 = a3[kk];
-          const float* __restrict__ br = pb + kk * n + jc;
-          for (std::size_t j = 0; j < jb; ++j) {
-            c0[j] += v0 * br[j];
-            c1[j] += v1 * br[j];
-            c2[j] += v2 * br[j];
-            c3[j] += v3 * br[j];
-          }
-        }
+static_assert(kMc % simd::kMr == 0, "A block must hold whole row panels");
+static_assert(kNc % simd::kNr == 0, "B block must hold whole column panels");
+
+// Problems with M*N*K at or below this skip packing entirely; the plain
+// chain-ordered loops below beat the pack overhead at these sizes and
+// produce bit-identical results (same per-element chains).
+constexpr double kSmallElems = 1 << 17;
+
+// op(A)[i, kk] for the stored matrix `a` with row stride `as`.
+inline float a_elem(const float* a, std::size_t as, bool a_trans, std::size_t i,
+                    std::size_t kk) {
+  return a_trans ? a[kk * as + i] : a[i * as + kk];
+}
+
+// op(B)[kk, j] for the stored matrix `b` with row stride `bs`.
+inline float b_elem(const float* b, std::size_t bs, bool b_trans, std::size_t kk,
+                    std::size_t j) {
+  return b_trans ? b[j * bs + kk] : b[kk * bs + j];
+}
+
+// Packs rows [i0, i0+mb) x k [k0, k0+kb) of op(A) into kMr-wide row
+// panels, layout ap[panel][kk * kMr + r], rows past mb zero-padded. The
+// transpose branch is hoisted so every inner loop walks one operand
+// contiguously.
+void pack_a(const float* a, std::size_t as, bool a_trans, std::size_t i0,
+            std::size_t mb, std::size_t k0, std::size_t kb, float* ap) {
+  for (std::size_t ir = 0; ir < mb; ir += simd::kMr) {
+    float* dst = ap + (ir / simd::kMr) * kb * simd::kMr;
+    const std::size_t rows = std::min(simd::kMr, mb - ir);
+    if (rows < simd::kMr) std::fill(dst, dst + kb * simd::kMr, 0.0f);
+    if (a_trans) {
+      // op(A)[i, kk] = a[kk * as + i]: a panel row is contiguous in a.
+      const float* src = a + (k0)*as + i0 + ir;
+      for (std::size_t kk = 0; kk < kb; ++kk, src += as) {
+        float* drow = dst + kk * simd::kMr;
+        for (std::size_t r = 0; r < rows; ++r) drow[r] = src[r];
       }
-      for (; i < i1; ++i) {
-        const float* __restrict__ ar = pa + i * k;
-        float* __restrict__ cr = pc + i * n + jc;
-        if (first) std::fill(cr, cr + jb, 0.0f);
-        std::size_t kk = kc;
-        for (; kk + kKu <= kend; kk += kKu) {
-          const float v0 = ar[kk], v1 = ar[kk + 1], v2 = ar[kk + 2], v3 = ar[kk + 3];
-          const float* __restrict__ b0 = pb + (kk + 0) * n + jc;
-          const float* __restrict__ b1 = pb + (kk + 1) * n + jc;
-          const float* __restrict__ b2 = pb + (kk + 2) * n + jc;
-          const float* __restrict__ b3 = pb + (kk + 3) * n + jc;
-          for (std::size_t j = 0; j < jb; ++j) {
-            cr[j] += v0 * b0[j] + v1 * b1[j] + v2 * b2[j] + v3 * b3[j];
-          }
-        }
-        for (; kk < kend; ++kk) {
-          const float v = ar[kk];
-          const float* __restrict__ br = pb + kk * n + jc;
-          for (std::size_t j = 0; j < jb; ++j) cr[j] += v * br[j];
+    } else {
+      // Contiguous reads along each A row, strided writes into the panel.
+      for (std::size_t r = 0; r < rows; ++r) {
+        const float* src = a + (i0 + ir + r) * as + k0;
+        for (std::size_t kk = 0; kk < kb; ++kk) {
+          dst[kk * simd::kMr + r] = src[kk];
         }
       }
     }
   }
 }
 
-// Opt-in threading state for large plain GEMMs (see ops.hpp).
+// Packs k [k0, k0+kb) x columns [j0, j0+nb) of op(B) into kNr-wide column
+// panels, layout bp[panel][kk * kNr + j], columns past nb zero-padded.
+void pack_b(const float* b, std::size_t bs, bool b_trans, std::size_t k0,
+            std::size_t kb, std::size_t j0, std::size_t nb, float* bp) {
+  for (std::size_t jr = 0; jr < nb; jr += simd::kNr) {
+    float* dst = bp + (jr / simd::kNr) * kb * simd::kNr;
+    const std::size_t cols = std::min(simd::kNr, nb - jr);
+    if (cols < simd::kNr) std::fill(dst, dst + kb * simd::kNr, 0.0f);
+    if (b_trans) {
+      // op(B)[kk, j] = b[j * bs + kk]: contiguous reads along each B row,
+      // strided writes into the panel.
+      for (std::size_t j = 0; j < cols; ++j) {
+        const float* src = b + (j0 + jr + j) * bs + k0;
+        for (std::size_t kk = 0; kk < kb; ++kk) {
+          dst[kk * simd::kNr + j] = src[kk];
+        }
+      }
+    } else {
+      // A panel row is a contiguous slice of a B row.
+      const float* src = b + k0 * bs + j0 + jr;
+      for (std::size_t kk = 0; kk < kb; ++kk, src += bs) {
+        float* drow = dst + kk * simd::kNr;
+        for (std::size_t j = 0; j < cols; ++j) drow[j] = src[j];
+      }
+    }
+  }
+}
+
+// Per-thread packing scratch, allocated once per thread and held for its
+// lifetime: a per-call acquire would degrade to a fresh zero-initializing
+// allocation whenever the pool is disabled (the default), which costs more
+// than the microkernel work at hot sizes. Deliberately NOT pool-backed —
+// the buffers outlive any pool enable/clear/disable transition and the
+// pool's own thread-local cache, so tying them to it would make their
+// destruction order observable; a one-time plain allocation already
+// achieves the pool's goal of zero steady-state heap traffic.
+struct GemmScratch {
+  std::vector<float> ap = std::vector<float>(kMc * kKc);  // lint:alloc
+  std::vector<float> bp = std::vector<float>(kKc * kNc);  // lint:alloc
+};
+
+// C rows [i0, i1) of C(MxN) = op(A)(MxK) * op(B)(KxN) through the packed
+// blocking. Each row's chains are computed entirely by the calling thread,
+// which packs its own panels (duplicated B packing across threads is the
+// price of bit-identical row partitioning).
+void gemm_packed(std::size_t i0, std::size_t i1, std::size_t K, std::size_t N,
+                 const float* a, std::size_t as, bool a_trans, const float* b,
+                 std::size_t bs, bool b_trans, float* c) {
+#if defined(__x86_64__) || defined(_M_X64)
+  const simd::Tier tier = simd::active_tier();
+  const simd::MicroKernel kernel =
+      tier == simd::Tier::kAvx512 ? simd::gemm_microkernel_avx512
+      : tier == simd::Tier::kAvx2 ? simd::gemm_microkernel_avx2
+                                  : simd::microkernel_generic;
+#else
+  const simd::MicroKernel kernel = simd::microkernel_generic;
+#endif
+  thread_local GemmScratch scratch;
+  std::vector<float>& ap = scratch.ap;
+  std::vector<float>& bp = scratch.bp;
+  for (std::size_t jc = 0; jc < N; jc += kNc) {
+    const std::size_t nb = std::min(kNc, N - jc);
+    for (std::size_t kc = 0; kc < K; kc += kKc) {
+      const std::size_t kb = std::min(kKc, K - kc);
+      const bool first = kc == 0;
+      pack_b(b, bs, b_trans, kc, kb, jc, nb, bp.data());
+      for (std::size_t ic = i0; ic < i1; ic += kMc) {
+        const std::size_t mb = std::min(kMc, i1 - ic);
+        pack_a(a, as, a_trans, ic, mb, kc, kb, ap.data());
+        for (std::size_t ir = 0; ir < mb; ir += simd::kMr) {
+          const std::size_t mr_eff = std::min(simd::kMr, mb - ir);
+          const float* apanel = ap.data() + (ir / simd::kMr) * kb * simd::kMr;
+          for (std::size_t jr = 0; jr < nb; jr += simd::kNr) {
+            const std::size_t nr_eff = std::min(simd::kNr, nb - jr);
+            kernel(kb, apanel, bp.data() + (jr / simd::kNr) * kb * simd::kNr,
+                   c + (ic + ir) * N + jc + jr, N, mr_eff, nr_eff, first);
+          }
+        }
+      }
+    }
+  }
+}
+
+// Unpacked small-problem path: the same per-element fma chains as the
+// packed driver, as plain loops. Row-major sweep when op(B) is row-major,
+// dot-style when B is transposed (contiguous along k either way).
+void gemm_small(std::size_t M, std::size_t K, std::size_t N, const float* a,
+                std::size_t as, bool a_trans, const float* b, std::size_t bs,
+                bool b_trans, float* c) {
+  if (b_trans) {
+    for (std::size_t i = 0; i < M; ++i) {
+      float* cr = c + i * N;
+      for (std::size_t j = 0; j < N; ++j) {
+        const float* br = b + j * bs;
+        float acc = 0.0f;
+        for (std::size_t kk = 0; kk < K; ++kk) {
+          acc = std::fma(a_elem(a, as, a_trans, i, kk), br[kk], acc);
+        }
+        cr[j] = acc;
+      }
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < M; ++i) {
+    float* cr = c + i * N;
+    std::fill(cr, cr + N, 0.0f);
+    for (std::size_t kk = 0; kk < K; ++kk) {
+      const float av = a_elem(a, as, a_trans, i, kk);
+      const float* br = b + kk * bs;
+      for (std::size_t j = 0; j < N; ++j) cr[j] = std::fma(av, br[j], cr[j]);
+    }
+  }
+}
+
+// Opt-in threading state for large GEMMs (see ops.hpp).
 std::atomic<util::ThreadPool*> g_gemm_pool{nullptr};
 std::atomic<std::size_t> g_gemm_min_flops{1u << 22};
+
+// Common entry: small-path / serial-packed / row-partitioned-packed, all
+// computing identical bits.
+void gemm_any(std::size_t M, std::size_t K, std::size_t N, const float* a,
+              std::size_t as, bool a_trans, const float* b, std::size_t bs,
+              bool b_trans, float* c) {
+  if (K == 0) {
+    std::fill(c, c + M * N, 0.0f);
+    return;
+  }
+  const double elems =
+      static_cast<double>(M) * static_cast<double>(K) * static_cast<double>(N);
+  if (elems <= kSmallElems) {
+    gemm_small(M, K, N, a, as, a_trans, b, bs, b_trans, c);
+    return;
+  }
+  util::ThreadPool* pool = g_gemm_pool.load(std::memory_order_acquire);
+  if (pool != nullptr && M >= 2 &&
+      2.0 * elems >=
+          static_cast<double>(g_gemm_min_flops.load(std::memory_order_relaxed))) {
+    const std::size_t blocks =
+        std::min(M, std::max<std::size_t>(1, pool->worker_count()));
+    pool->parallel_for(blocks, [&](std::size_t blk) {
+      const std::size_t i0 = M * blk / blocks;
+      const std::size_t i1 = M * (blk + 1) / blocks;
+      gemm_packed(i0, i1, K, N, a, as, a_trans, b, bs, b_trans, c);
+    });
+    return;
+  }
+  gemm_packed(0, M, K, N, a, as, a_trans, b, bs, b_trans, c);
+}
 
 }  // namespace
 
@@ -310,20 +495,8 @@ void set_gemm_threading(util::ThreadPool* pool, std::size_t min_flops) {
 
 void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
           const float* b, float* c) {
-  util::ThreadPool* pool = g_gemm_pool.load(std::memory_order_acquire);
-  if (pool != nullptr && m >= 2 &&
-      2.0 * static_cast<double>(m) * static_cast<double>(k) * static_cast<double>(n) >=
-          static_cast<double>(g_gemm_min_flops.load(std::memory_order_relaxed))) {
-    const std::size_t blocks =
-        std::min(m, std::max<std::size_t>(1, pool->worker_count()));
-    pool->parallel_for(blocks, [&](std::size_t blk) {
-      const std::size_t i0 = m * blk / blocks;
-      const std::size_t i1 = m * (blk + 1) / blocks;
-      gemm_rows(a, b, c, i0, i1, k, n);
-    });
-    return;
-  }
-  gemm_rows(a, b, c, 0, m, k, n);
+  gemm_any(m, k, n, a, /*as=*/k, /*a_trans=*/false, b, /*bs=*/n,
+           /*b_trans=*/false, c);
 }
 
 void gemm(const Tensor& a, const Tensor& b, Tensor& c) {
@@ -339,72 +512,11 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c) {
   gemm(m, k, n, a.raw(), b.raw(), c.raw());
 }
 
-namespace {
-
-// Lane count of the dot-product accumulators in gemm_nt: 16 independent
-// float chains per output (one 512-bit or two 256-bit vectors), combined
-// with a fixed halving tree, scalar tail appended last.
-constexpr std::size_t kDotLanes = 16;
-
-float reduce_dot_lanes(float (&acc)[kDotLanes]) {
-  for (std::size_t stride = kDotLanes / 2; stride > 0; stride /= 2) {
-    for (std::size_t l = 0; l < stride; ++l) acc[l] += acc[l + stride];
-  }
-  return acc[0];
-}
-
-}  // namespace
-
 void gemm_nt(std::size_t m, std::size_t k, std::size_t n, const float* a,
              const float* b, float* c) {
-  constexpr std::size_t kJr = 4;  // B rows sharing one pass over an A row
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* __restrict__ ar = a + i * k;
-    float* __restrict__ cr = c + i * n;
-    std::size_t j = 0;
-    for (; j + kJr <= n; j += kJr) {
-      const float* __restrict__ b0 = b + (j + 0) * k;
-      const float* __restrict__ b1 = b + (j + 1) * k;
-      const float* __restrict__ b2 = b + (j + 2) * k;
-      const float* __restrict__ b3 = b + (j + 3) * k;
-      float acc0[kDotLanes] = {}, acc1[kDotLanes] = {};
-      float acc2[kDotLanes] = {}, acc3[kDotLanes] = {};
-      std::size_t kk = 0;
-      for (; kk + kDotLanes <= k; kk += kDotLanes) {
-        for (std::size_t l = 0; l < kDotLanes; ++l) {
-          const float av = ar[kk + l];
-          acc0[l] += av * b0[kk + l];
-          acc1[l] += av * b1[kk + l];
-          acc2[l] += av * b2[kk + l];
-          acc3[l] += av * b3[kk + l];
-        }
-      }
-      float s0 = reduce_dot_lanes(acc0), s1 = reduce_dot_lanes(acc1);
-      float s2 = reduce_dot_lanes(acc2), s3 = reduce_dot_lanes(acc3);
-      for (; kk < k; ++kk) {
-        const float av = ar[kk];
-        s0 += av * b0[kk];
-        s1 += av * b1[kk];
-        s2 += av * b2[kk];
-        s3 += av * b3[kk];
-      }
-      cr[j + 0] = s0;
-      cr[j + 1] = s1;
-      cr[j + 2] = s2;
-      cr[j + 3] = s3;
-    }
-    for (; j < n; ++j) {
-      const float* __restrict__ br = b + j * k;
-      float acc[kDotLanes] = {};
-      std::size_t kk = 0;
-      for (; kk + kDotLanes <= k; kk += kDotLanes) {
-        for (std::size_t l = 0; l < kDotLanes; ++l) acc[l] += ar[kk + l] * br[kk + l];
-      }
-      float s = reduce_dot_lanes(acc);
-      for (; kk < k; ++kk) s += ar[kk] * br[kk];
-      cr[j] = s;
-    }
-  }
+  // B is stored n x k; packing reads it transposed.
+  gemm_any(m, k, n, a, /*as=*/k, /*a_trans=*/false, b, /*bs=*/k,
+           /*b_trans=*/true, c);
 }
 
 void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c) {
@@ -423,36 +535,10 @@ void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c) {
 
 void gemm_tn(std::size_t m, std::size_t k, std::size_t n, const float* a,
              const float* b, float* c) {
-  std::fill(c, c + k * n, 0.0f);
-  // Rank-kMr updates: the reduction dimension (m) is consumed in ascending
-  // blocks of kMr, so every C element sees one fixed association order.
-  std::size_t i = 0;
-  for (; i + kMr <= m; i += kMr) {
-    const float* __restrict__ a0 = a + (i + 0) * k;
-    const float* __restrict__ a1 = a + (i + 1) * k;
-    const float* __restrict__ a2 = a + (i + 2) * k;
-    const float* __restrict__ a3 = a + (i + 3) * k;
-    const float* __restrict__ b0 = b + (i + 0) * n;
-    const float* __restrict__ b1 = b + (i + 1) * n;
-    const float* __restrict__ b2 = b + (i + 2) * n;
-    const float* __restrict__ b3 = b + (i + 3) * n;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float v0 = a0[kk], v1 = a1[kk], v2 = a2[kk], v3 = a3[kk];
-      float* __restrict__ cr = c + kk * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        cr[j] += v0 * b0[j] + v1 * b1[j] + v2 * b2[j] + v3 * b3[j];
-      }
-    }
-  }
-  for (; i < m; ++i) {
-    const float* __restrict__ ar = a + i * k;
-    const float* __restrict__ br = b + i * n;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float v = ar[kk];
-      float* __restrict__ cr = c + kk * n;
-      for (std::size_t j = 0; j < n; ++j) cr[j] += v * br[j];
-    }
-  }
+  // C is k x n and the reduction runs over m: A (stored m x k) is read
+  // transposed.
+  gemm_any(/*M=*/k, /*K=*/m, /*N=*/n, a, /*as=*/k, /*a_trans=*/true, b,
+           /*bs=*/n, /*b_trans=*/false, c);
 }
 
 void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c) {
@@ -467,6 +553,101 @@ void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c) {
                                 shape_to_string(c.shape()));
   }
   gemm_tn(m, k, n, a.raw(), b.raw(), c.raw());
+}
+
+// ---- Int8 affine quantization ------------------------------------------
+
+QuantParams compute_quant_params(std::span<const float> x) {
+  float mn = 0.0f;
+  float mx = 0.0f;
+#if defined(__x86_64__) || defined(_M_X64)
+  if (use_avx2()) {
+    simd::minmax_avx2(x.data(), x.size(), &mn, &mx);
+  } else
+#endif
+  {
+    if (!x.empty()) {
+      mn = x[0];
+      mx = x[0];
+      for (std::size_t i = 1; i < x.size(); ++i) {
+        mn = std::min(mn, x[i]);
+        mx = std::max(mx, x[i]);
+      }
+    }
+  }
+  // Force zero into the representable range so a quantized update can
+  // express "no change" exactly — the error-feedback path depends on
+  // residuals not being injected into untouched coordinates.
+  const float lo = std::min(mn, 0.0f);
+  const float hi = std::max(mx, 0.0f);
+  QuantParams p;
+  p.scale = (hi - lo) / 255.0f;
+  if (!(p.scale > 0.0f)) {
+    // All-zero (or degenerate) input: any scale represents it; pick 1.
+    p.scale = 1.0f;
+  }
+  const auto zp = static_cast<std::int32_t>(std::lrintf(-128.0f - lo / p.scale));
+  p.zero_point = std::clamp(zp, -128, 127);
+  return p;
+}
+
+void quantize_int8(std::span<const float> x, const QuantParams& p,
+                   std::span<std::int8_t> q) {
+  if (x.size() != q.size()) {
+    throw std::invalid_argument("quantize_int8: size mismatch (" +
+                                std::to_string(x.size()) + " vs " +
+                                std::to_string(q.size()) + ")");
+  }
+  const float inv_scale = 1.0f / p.scale;
+#if defined(__x86_64__) || defined(_M_X64)
+  if (use_avx2()) {
+    simd::quantize_int8_avx2(x.data(), x.size(), inv_scale, p.zero_point,
+                             q.data());
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto r = static_cast<std::int32_t>(std::lrintf(x[i] * inv_scale)) +
+                   p.zero_point;
+    q[i] = static_cast<std::int8_t>(std::clamp(r, -128, 127));
+  }
+}
+
+void dequantize_int8(std::span<const std::int8_t> q, const QuantParams& p,
+                     std::span<float> out) {
+  if (q.size() != out.size()) {
+    throw std::invalid_argument("dequantize_int8: size mismatch (" +
+                                std::to_string(q.size()) + " vs " +
+                                std::to_string(out.size()) + ")");
+  }
+#if defined(__x86_64__) || defined(_M_X64)
+  if (use_avx2()) {
+    simd::dequantize_int8_avx2(q.data(), q.size(), p.scale, p.zero_point,
+                               out.data());
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    out[i] = p.scale *
+             static_cast<float>(static_cast<std::int32_t>(q[i]) - p.zero_point);
+  }
+}
+
+void fake_quantize_int8(std::span<float> x, const QuantParams& p) {
+  const float inv_scale = 1.0f / p.scale;
+#if defined(__x86_64__) || defined(_M_X64)
+  if (use_avx2()) {
+    simd::fake_quantize_int8_avx2(x.data(), x.size(), inv_scale, p.scale,
+                                  p.zero_point);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto r = static_cast<std::int32_t>(std::lrintf(x[i] * inv_scale)) +
+                   p.zero_point;
+    const std::int32_t qi = std::clamp(r, -128, 127);
+    x[i] = p.scale * static_cast<float>(qi - p.zero_point);
+  }
 }
 
 // ---- Naive reference kernels (retained pre-optimization code) ----------

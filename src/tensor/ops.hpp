@@ -7,22 +7,33 @@
 //     `cosine_similarity`).
 // All span-based functions require equal lengths and are checked.
 //
-// Accumulation policy (uniform across the optimized kernels):
+// Accumulation policy (uniform across the optimized kernels, and across
+// every FEDCA_SIMD dispatch tier — see tensor/simd/dispatch.hpp):
 //   * All three GEMM variants accumulate in float. Each output element is
-//     produced by one fixed association order — k is consumed in blocks of
-//     kKc, unrolled in groups of four inside a block, with a sequential
-//     scalar tail — so results are bit-reproducible run to run and
-//     independent of how work is partitioned across threads (row blocks
-//     never split an output element's reduction).
+//     one sequential fused-multiply-add chain over k ascending, seeded at
+//     0 (std::fma in portable code, vfmadd in the AVX2 tier). A chain may
+//     round-trip through C memory between k-blocks — float stores are
+//     value-preserving — so the association is independent of blocking
+//     constants, panel packing, vector lane width, and thread
+//     partitioning (row blocks never split an output element's
+//     reduction). Results are bit-reproducible run to run, across worker
+//     counts, and across dispatch tiers.
+//   * `axpy` is a per-element fused multiply-add: y = fma(alpha, x, y).
 //   * Span reductions that feed virtual-time and FedCA-metric decisions
-//     (`dot`, `l2_norm`, `l1_norm`) accumulate in double over fixed-width
-//     lanes with a fixed tree combine, again bit-reproducible.
+//     (`dot`, `l2_norm`, `l1_norm`) accumulate in double over eight fixed
+//     lanes (element i feeds lane i mod 8) with a fixed halving-tree
+//     combine and a scalar tail appended last; lane products are separate
+//     multiply + add, never fused. Again bit-reproducible across tiers.
+//   * These kernel translation units are compiled with -ffp-contract=off:
+//     fusion happens exactly where the contract says fma and nowhere
+//     else, so the compiler cannot silently change the association.
 // The naive kernels the optimized ones replaced are retained under
 // tensor::ref for property tests and benches; ref::gemm_nt keeps its
 // historical double accumulator.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 #include "tensor/tensor.hpp"
@@ -83,10 +94,38 @@ void sub_into(const Tensor& a, const Tensor& b, Tensor& out);
 // a -= b (same shape), in place.
 void sub_inplace(Tensor& a, const Tensor& b);
 
+// ---- Int8 affine quantization ----
+//
+// Per-span asymmetric int8 quantization: x ~ scale * (q - zero_point),
+// q in [-128, 127]. Parameters always make exact zero representable (the
+// FedCA eager wire + error-feedback path depends on "no change" encoding
+// losslessly). Rounding is nearest-even in every tier, so quantized bytes
+// are identical across FEDCA_SIMD dispatch tiers.
+
+struct QuantParams {
+  float scale = 1.0f;
+  std::int32_t zero_point = 0;
+};
+
+// Min/max-derived parameters for `x` (zero forced into range; all-zero
+// spans get scale 1).
+QuantParams compute_quant_params(std::span<const float> x);
+// q[i] = clamp(round(x[i] / scale) + zero_point, -128, 127).
+void quantize_int8(std::span<const float> x, const QuantParams& p,
+                   std::span<std::int8_t> q);
+// out[i] = scale * (q[i] - zero_point).
+void dequantize_int8(std::span<const std::int8_t> q, const QuantParams& p,
+                     std::span<float> out);
+// In-place quantize-then-dequantize (no int8 staging buffer): what the
+// receiver of an int8 transmission would reconstruct.
+void fake_quantize_int8(std::span<float> x, const QuantParams& p);
+
 // ---- GEMM ----
 //
-// Cache-blocked (Mc/Kc/Nc), register-tiled kernels with the fixed
-// association order described at the top of this header. Raw-pointer
+// Cache-blocked (Mc/Kc/Nc), panel-packed, register-tiled kernels with the
+// fixed association order described at the top of this header. All three
+// variants share one packed microkernel (transposition is absorbed during
+// packing), dispatched per call to the portable or AVX2 tier. Raw-pointer
 // variants are exposed so layers that already know their geometry (conv
 // im2col panels, per-sample slices) can avoid staging copies; the Tensor
 // overloads validate shapes and forward to them.
@@ -105,8 +144,8 @@ void gemm_tn(std::size_t m, std::size_t k, std::size_t n, const float* a,
 void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c);
 
 // Opt-in pool-parallel row-block path for large GEMMs. When a pool is set,
-// `gemm` calls whose 2*m*k*n flop count reaches `min_flops` partition their
-// C rows across the pool. Bit-identical to the serial path: a C row's
+// calls to any of the three variants whose 2*m*k*n flop count reaches
+// `min_flops` partition their C rows across the pool. Bit-identical to the serial path: a C row's
 // reduction is never split across workers, so every element sees the same
 // association order. Off by default; enable explicitly (benches, offline
 // tools). Do NOT enable while the round engines train clients in parallel —

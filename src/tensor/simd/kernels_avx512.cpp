@@ -1,0 +1,76 @@
+// AVX-512F GEMM microkernel tier. One 512-bit register holds an entire
+// kNr-wide packed B row, so the 6 x 16 tile is six zmm accumulators — the
+// same fma chains as the AVX2 and portable microkernels, just wider
+// registers (bit-identical output by the association contract in
+// kernels.hpp). Compiled with -mavx512f when the compiler has it; the
+// dispatcher only selects this tier when the build carries it AND CPUID
+// reports support.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include "tensor/simd/kernels.hpp"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace fedca::tensor::simd {
+
+bool avx512_compiled() { return true; }
+
+void gemm_microkernel_avx512(std::size_t kb, const float* ap, const float* bp,
+                             float* c, std::size_t ldc, std::size_t mr_eff,
+                             std::size_t nr_eff, bool first) {
+  static_assert(kNr == 16, "one zmm per packed B row");
+  if (mr_eff != kMr || nr_eff != kNr) {
+    microkernel_generic(kb, ap, bp, c, ldc, mr_eff, nr_eff, first);
+    return;
+  }
+  __m512 c0, c1, c2, c3, c4, c5;
+  if (first) {
+    c0 = c1 = c2 = c3 = c4 = c5 = _mm512_setzero_ps();
+  } else {
+    c0 = _mm512_loadu_ps(c + 0 * ldc);
+    c1 = _mm512_loadu_ps(c + 1 * ldc);
+    c2 = _mm512_loadu_ps(c + 2 * ldc);
+    c3 = _mm512_loadu_ps(c + 3 * ldc);
+    c4 = _mm512_loadu_ps(c + 4 * ldc);
+    c5 = _mm512_loadu_ps(c + 5 * ldc);
+  }
+  for (std::size_t kk = 0; kk < kb; ++kk) {
+    const __m512 b = _mm512_loadu_ps(bp + kk * kNr);
+    const float* arow = ap + kk * kMr;
+    c0 = _mm512_fmadd_ps(_mm512_set1_ps(arow[0]), b, c0);
+    c1 = _mm512_fmadd_ps(_mm512_set1_ps(arow[1]), b, c1);
+    c2 = _mm512_fmadd_ps(_mm512_set1_ps(arow[2]), b, c2);
+    c3 = _mm512_fmadd_ps(_mm512_set1_ps(arow[3]), b, c3);
+    c4 = _mm512_fmadd_ps(_mm512_set1_ps(arow[4]), b, c4);
+    c5 = _mm512_fmadd_ps(_mm512_set1_ps(arow[5]), b, c5);
+  }
+  _mm512_storeu_ps(c + 0 * ldc, c0);
+  _mm512_storeu_ps(c + 1 * ldc, c1);
+  _mm512_storeu_ps(c + 2 * ldc, c2);
+  _mm512_storeu_ps(c + 3 * ldc, c3);
+  _mm512_storeu_ps(c + 4 * ldc, c4);
+  _mm512_storeu_ps(c + 5 * ldc, c5);
+}
+
+}  // namespace fedca::tensor::simd
+
+#else  // !__AVX512F__: compiler can't target AVX-512; tier never selected.
+
+namespace fedca::tensor::simd {
+
+bool avx512_compiled() { return false; }
+
+void gemm_microkernel_avx512(std::size_t kb, const float* ap, const float* bp,
+                             float* c, std::size_t ldc, std::size_t mr_eff,
+                             std::size_t nr_eff, bool first) {
+  microkernel_generic(kb, ap, bp, c, ldc, mr_eff, nr_eff, first);
+}
+
+}  // namespace fedca::tensor::simd
+
+#endif  // __AVX512F__
+
+#endif  // x86-64

@@ -1,0 +1,49 @@
+// NEON kernel tier stub. Compiled into every build; the vector bodies
+// exist only when the target carries NEON, so x86 builds get a
+// `neon_supported() == false` answer and the dispatcher never routes here.
+//
+// Determinism: same contract as the AVX2 tier — axpy is a per-element
+// fused multiply-add (vfmaq_f32 == std::fma per lane), scale a plain
+// multiply, so lane width cannot change a single output bit.
+
+#include "tensor/simd/kernels.hpp"
+
+#if defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace fedca::tensor::simd {
+
+bool neon_supported() {
+#if defined(__ARM_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(__ARM_NEON)
+
+void axpy_neon(float alpha, const float* x, float* y, std::size_t n) {
+  const float32x4_t va = vdupq_n_f32(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t vx = vld1q_f32(x + i);
+    const float32x4_t vy = vld1q_f32(y + i);
+    vst1q_f32(y + i, vfmaq_f32(vy, va, vx));
+  }
+  for (; i < n; ++i) y[i] = std::fma(alpha, x[i], y[i]);
+}
+
+void scale_neon(float alpha, float* y, std::size_t n) {
+  const float32x4_t va = vdupq_n_f32(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i, vmulq_f32(va, vld1q_f32(y + i)));
+  }
+  for (; i < n; ++i) y[i] *= alpha;
+}
+
+#endif  // __ARM_NEON
+
+}  // namespace fedca::tensor::simd

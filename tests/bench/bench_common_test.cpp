@@ -1,7 +1,10 @@
 // Bench plumbing: scale presets, override precedence, RecordingScheme.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "bench/common.hpp"
+#include "fl/scenario.hpp"
 
 namespace fedca {
 namespace {
@@ -60,13 +63,14 @@ TEST(BenchCommon, PaperTargets) {
 
 TEST(BenchCommon, RecordingSchemeCapturesEveryRound) {
   bench::RecordingScheme scheme(1000, 3);
-  fl::ExperimentOptions options;
-  options.model = nn::ModelKind::kCnn;
+  // Geometry from the committed baseline scenario; only the knobs this
+  // test asserts on are overridden.
+  const fl::Scenario sc = fl::load_scenario_file(
+      std::string(FEDCA_SOURCE_DIR) + "/scenarios/faultfree.scn");
+  fl::ExperimentOptions options = sc.options;
   options.num_clients = 3;
   options.local_iterations = 4;
-  options.batch_size = 8;
   options.train_samples = 150;
-  options.test_samples = 64;
   options.max_rounds = 3;
   options.seed = 8;
   fl::run_experiment(options, scheme);

@@ -1,16 +1,30 @@
-// Update compression: QSGD quantization, top-k sparsification, the
-// CompressedScheme decorator, and end-to-end effects on wire bytes.
+// Update compression: QSGD quantization, top-k sparsification, int8
+// affine quantization, the CompressedScheme decorator, the int8 eager
+// wire, and end-to-end effects on wire bytes.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
+#include <string>
 
 #include "core/factory.hpp"
 #include "fl/compression.hpp"
 #include "fl/experiment.hpp"
+#include "fl/scenario.hpp"
 #include "tensor/ops.hpp"
 
 namespace fedca {
 namespace {
+
+// Experiment geometry comes from the committed scenario; tests override
+// the few knobs they need on the returned copy.
+const fl::Scenario& eager_scenario() {
+  static const fl::Scenario sc = fl::load_scenario_file(
+      std::string(FEDCA_SOURCE_DIR) + "/scenarios/eager_compression.scn");
+  return sc;
+}
+
+fl::ExperimentOptions scenario_options() { return eager_scenario().options; }
 
 tensor::Tensor ramp(std::size_t n) {
   tensor::Tensor t({n});
@@ -166,17 +180,74 @@ TEST(MakeCompressor, DispatchesAndValidates) {
   EXPECT_EQ(fl::make_compressor("none", 8, 0.1, util::Rng(1))->name(), "identity");
   EXPECT_EQ(fl::make_compressor("qsgd", 8, 0.1, util::Rng(1))->name(), "qsgd8");
   EXPECT_NE(fl::make_compressor("topk", 8, 0.1, util::Rng(1)), nullptr);
+  EXPECT_EQ(fl::make_compressor("int8", 8, 0.1, util::Rng(1))->name(), "int8");
   EXPECT_THROW(fl::make_compressor("zip", 8, 0.1, util::Rng(1)), std::invalid_argument);
 }
 
+TEST(Int8, RoundTripBoundedByHalfStep) {
+  tensor::Tensor t = ramp(1000);
+  const tensor::Tensor orig = t;
+  const tensor::QuantParams p = tensor::compute_quant_params(orig.data());
+  fl::Int8Quantizer codec;
+  codec.compress(t, 4.0);
+  std::set<float> distinct;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    // Nearest-code quantization moves each value by at most half a step.
+    EXPECT_LE(std::abs(t[i] - orig[i]), 0.5 * p.scale + 1e-6) << i;
+    distinct.insert(t[i]);
+  }
+  EXPECT_LE(distinct.size(), 256u);  // one int8 code per element
+}
+
+TEST(Int8, ScaleAndZeroPointCoverRange) {
+  // The quantization grid must span [min, max] widened to include zero,
+  // with zero itself exactly representable (error feedback depends on
+  // untouched entries surviving the round trip).
+  tensor::Tensor t({4}, std::vector<float>{-2.0f, 0.0f, 1.0f, 0.25f});
+  const tensor::QuantParams p = tensor::compute_quant_params(t.data());
+  EXPECT_FLOAT_EQ(p.scale, 3.0f / 255.0f);
+  fl::Int8Quantizer codec;
+  codec.compress(t, 4.0);
+  EXPECT_EQ(t[1], 0.0f);  // zero is a grid point, not merely close
+  EXPECT_NEAR(t[0], -2.0f, 0.5 * p.scale + 1e-6);
+  EXPECT_NEAR(t[2], 1.0f, 0.5 * p.scale + 1e-6);
+
+  // All-positive input: the grid still contains zero (lo clamps to 0).
+  tensor::Tensor pos({3}, std::vector<float>{2.0f, 4.0f, 3.0f});
+  const tensor::QuantParams pp = tensor::compute_quant_params(pos.data());
+  EXPECT_FLOAT_EQ(pp.scale, 4.0f / 255.0f);
+}
+
+TEST(Int8, WireBytesMatchBitsPerElement) {
+  EXPECT_DOUBLE_EQ(fl::Int8Quantizer::bits_per_element(), 8.0);
+  fl::Int8Quantizer codec;
+  tensor::Tensor t = ramp(1000);
+  // Header (scale + zero-point) plus bits_per_element/32 of the fp32 cost.
+  const double expected =
+      fl::Int8Quantizer::header_bytes() +
+      1000.0 * 4.0 * (fl::Int8Quantizer::bits_per_element() / 32.0);
+  EXPECT_DOUBLE_EQ(codec.compress(t, 4.0), expected);
+
+  tensor::Tensor empty({0});
+  EXPECT_DOUBLE_EQ(codec.compress(empty, 4.0), 0.0);
+
+  tensor::Tensor zeros({16}, 0.0f);
+  codec.compress(zeros, 4.0);
+  for (std::size_t i = 0; i < zeros.numel(); ++i) EXPECT_EQ(zeros[i], 0.0f);
+}
+
+TEST(EagerWire, ParseAndName) {
+  EXPECT_EQ(fl::parse_eager_wire("fp32"), fl::EagerWire::kFp32);
+  EXPECT_EQ(fl::parse_eager_wire("int8"), fl::EagerWire::kInt8);
+  EXPECT_THROW(fl::parse_eager_wire("fp16"), std::invalid_argument);
+  EXPECT_STREQ(fl::eager_wire_name(fl::EagerWire::kFp32), "fp32");
+  EXPECT_STREQ(fl::eager_wire_name(fl::EagerWire::kInt8), "int8");
+}
+
 TEST(CompressedScheme, EndToEndReducesBytes) {
-  fl::ExperimentOptions options;
-  options.model = nn::ModelKind::kCnn;
-  options.num_clients = 5;
+  fl::ExperimentOptions options = scenario_options();
+  options.eager_wire = fl::EagerWire::kFp32;
   options.local_iterations = 5;
-  options.batch_size = 8;
-  options.train_samples = 300;
-  options.test_samples = 64;
   options.max_rounds = 2;
   options.seed = 11;
 
@@ -208,14 +279,11 @@ TEST(CompressedScheme, ComposesWithFedCa) {
   auto scheme = core::make_scheme("fedca", config, 3);
   EXPECT_EQ(scheme->name(), "FedCA+topk");
 
-  fl::ExperimentOptions options;
-  options.model = nn::ModelKind::kCnn;
+  fl::ExperimentOptions options = scenario_options();
+  options.eager_wire = fl::EagerWire::kFp32;
   options.num_clients = 4;
   options.local_iterations = 6;
-  options.batch_size = 8;
   options.train_samples = 240;
-  options.test_samples = 64;
-  options.max_rounds = 5;
   options.seed = 12;
   const fl::ExperimentResult result = fl::run_experiment(options, *scheme);
   EXPECT_EQ(result.rounds.size(), 5u);  // runs to completion
@@ -228,18 +296,56 @@ TEST(CompressedScheme, DeterministicQuantization) {
     util::Config config;
     config.set("compress", "qsgd");
     auto scheme = core::make_scheme("fedavg", config, 5);
-    fl::ExperimentOptions options;
-    options.model = nn::ModelKind::kCnn;
+    fl::ExperimentOptions options = scenario_options();
+    options.eager_wire = fl::EagerWire::kFp32;
     options.num_clients = 4;
     options.local_iterations = 4;
-    options.batch_size = 8;
     options.train_samples = 240;
-    options.test_samples = 64;
     options.max_rounds = 2;
     options.seed = 13;
     return fl::run_experiment(options, *scheme).final_accuracy;
   };
   EXPECT_DOUBLE_EQ(run(), run());
+}
+
+fl::ExperimentResult run_eager_scenario(fl::EagerWire wire) {
+  const fl::Scenario& sc = eager_scenario();
+  fl::ExperimentOptions options = sc.options;
+  options.eager_wire = wire;
+  auto scheme = core::make_scheme(sc.scheme, fl::scheme_config(sc), options.seed);
+  return fl::run_experiment(options, *scheme);
+}
+
+double total_eager_bytes(const fl::ExperimentResult& result) {
+  double total = 0.0;
+  for (const auto& round : result.rounds) {
+    for (const auto& c : round.clients) total += c.eager_bytes;
+  }
+  return total;
+}
+
+// Acceptance gate of the quantized eager wire: the committed
+// eager_compression scenario must cut eager bytes-on-wire by >= 3.5x
+// versus the fp32 wire (the int8 codec is 4x minus per-layer headers).
+TEST(Int8EagerWire, CutsEagerBytesVsFp32) {
+  const fl::ExperimentResult fp32 = run_eager_scenario(fl::EagerWire::kFp32);
+  const fl::ExperimentResult int8 = run_eager_scenario(fl::EagerWire::kInt8);
+  const double fp32_bytes = total_eager_bytes(fp32);
+  const double int8_bytes = total_eager_bytes(int8);
+  ASSERT_GT(int8_bytes, 0.0);  // eager transmissions actually fired
+  EXPECT_GE(fp32_bytes / int8_bytes, 3.5);
+}
+
+// Error-feedback regression: quantizing the eager wire must not derail
+// convergence — the residual rides the full-precision retransmission
+// path, so the final loss stays within a small epsilon of the fp32 run.
+TEST(Int8EagerWire, ErrorFeedbackKeepsConvergence) {
+  const fl::ExperimentResult fp32 = run_eager_scenario(fl::EagerWire::kFp32);
+  const fl::ExperimentResult int8 = run_eager_scenario(fl::EagerWire::kInt8);
+  ASSERT_FALSE(fp32.curve.empty());
+  ASSERT_FALSE(int8.curve.empty());
+  EXPECT_NEAR(int8.curve.back().loss, fp32.curve.back().loss, 0.1);
+  EXPECT_NEAR(int8.final_accuracy, fp32.final_accuracy, 0.1);
 }
 
 }  // namespace

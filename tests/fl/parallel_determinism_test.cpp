@@ -16,6 +16,7 @@
 #include "fl/round_engine.hpp"
 #include "fl/scheme.hpp"
 #include "tensor/pool.hpp"
+#include "tensor/simd/dispatch.hpp"
 #include "util/config.hpp"
 
 namespace fedca {
@@ -99,6 +100,36 @@ TEST(ParallelDeterminism, RoundEngineCnnSweepOverSeeds) {
       ASSERT_EQ(base.end_time, got.end_time) << "seed " << seed;
     }
   }
+}
+
+// SIMD-tier invariance (tensor/simd dispatch): every kernel tier
+// implements the identical per-element association order, so a full
+// training run is BYTE-identical between the portable scalar kernels and
+// the best vector tier this host supports — at every worker count. This
+// is what makes FEDCA_SIMD a pure performance knob (goldens and reports
+// never depend on it).
+TEST(ParallelDeterminism, SimdTierSweepMatchesScalarAcrossWorkerCounts) {
+  namespace simd = tensor::simd;
+  const simd::Tier best = simd::active_tier();
+  simd::set_tier_for_testing(simd::Tier::kScalar);
+  const RoundRunOutput base = run_rounds(nn::ModelKind::kCnn, 4242, 1, 2);
+  std::vector<simd::Tier> tiers = {simd::Tier::kScalar};
+  if (best != simd::Tier::kScalar) tiers.push_back(best);
+  for (const simd::Tier tier : tiers) {
+    simd::set_tier_for_testing(tier);
+    for (const std::size_t workers : kWorkerCounts) {
+      const RoundRunOutput got =
+          run_rounds(nn::ModelKind::kCnn, 4242, workers, 2);
+      expect_states_bit_identical(base.global, got.global, "tier sweep");
+      ASSERT_EQ(base.arrivals, got.arrivals)
+          << simd::tier_name(tier) << " x " << workers << " workers";
+      ASSERT_EQ(base.losses, got.losses)
+          << simd::tier_name(tier) << " x " << workers << " workers";
+      ASSERT_EQ(base.collected, got.collected) << simd::tier_name(tier);
+      ASSERT_EQ(base.end_time, got.end_time) << simd::tier_name(tier);
+    }
+  }
+  simd::reset_tier_from_env();
 }
 
 // Regression for the summarize() ordering fix (src/fl/experiment.cpp): the

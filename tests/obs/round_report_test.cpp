@@ -14,6 +14,7 @@
 #include "data/synthetic.hpp"
 #include "fl/async_engine.hpp"
 #include "fl/experiment.hpp"
+#include "fl/scenario.hpp"
 #include "fl/scheme.hpp"
 
 namespace fedca {
@@ -153,10 +154,13 @@ TEST_F(RoundReportTest, RoundEngineEmitsOneLinePerRound) {
   std::remove(path.c_str());
   obs::RoundReportWriter::global().set_output_path(path);
 
-  fl::ExperimentOptions options;
+  // Geometry from the committed baseline scenario; only the knobs this
+  // test asserts on are overridden.
+  const fl::Scenario sc = fl::load_scenario_file(
+      std::string(FEDCA_SOURCE_DIR) + "/scenarios/faultfree.scn");
+  fl::ExperimentOptions options = sc.options;
   options.num_clients = 4;
   options.local_iterations = 3;
-  options.batch_size = 8;
   options.train_samples = 160;
   options.test_samples = 32;
   options.collect_fraction = 0.75;

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "tensor/ops.hpp"
+#include "tensor/simd/dispatch.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -133,6 +135,51 @@ TEST(GemmProperty, ThreadedGemmIsBitIdenticalToSerial) {
   for (std::size_t i = 0; i < serial.numel(); ++i) {
     ASSERT_EQ(serial[i], threaded[i]) << "element " << i;
   }
+}
+
+// Dispatch-tier identity: the scalar kernels and every vector tier this
+// host supports must produce the SAME BYTES for all three GEMM variants
+// across the full edge-size grid — the association-order contract that
+// makes FEDCA_SIMD a pure performance knob.
+TEST(GemmProperty, TiersAreBitIdentical) {
+  std::vector<simd::Tier> tiers;
+  if (simd::avx2_supported()) tiers.push_back(simd::Tier::kAvx2);
+  if (simd::avx512_supported()) tiers.push_back(simd::Tier::kAvx512);
+  if (tiers.empty()) GTEST_SKIP() << "host has no vector tier";
+  util::Rng rng(0x71E5);
+  for (const std::size_t m : kSizes) {
+    for (const std::size_t k : kSizes) {
+      for (const std::size_t n : kSizes) {
+        const Tensor a = random_tensor({m, k}, rng);
+        const Tensor b = random_tensor({k, n}, rng);
+        const Tensor bt = random_tensor({n, k}, rng);
+        const Tensor at = random_tensor({k, m}, rng);
+        simd::set_tier_for_testing(simd::Tier::kScalar);
+        Tensor c0({m, n}), c0_nt({m, n}), c0_tn({m, n});
+        gemm(a, b, c0);
+        gemm_nt(a, bt, c0_nt);
+        gemm_tn(at, b, c0_tn);
+        for (const simd::Tier tier : tiers) {
+          simd::set_tier_for_testing(tier);
+          Tensor c1({m, n}), c1_nt({m, n}), c1_tn({m, n});
+          gemm(a, b, c1);
+          gemm_nt(a, bt, c1_nt);
+          gemm_tn(at, b, c1_tn);
+          const std::size_t bytes = m * n * sizeof(float);
+          ASSERT_EQ(std::memcmp(c0.raw(), c1.raw(), bytes), 0)
+              << "gemm " << simd::tier_name(tier) << " " << m << "x" << k
+              << "x" << n;
+          ASSERT_EQ(std::memcmp(c0_nt.raw(), c1_nt.raw(), bytes), 0)
+              << "gemm_nt " << simd::tier_name(tier) << " " << m << "x" << k
+              << "x" << n;
+          ASSERT_EQ(std::memcmp(c0_tn.raw(), c1_tn.raw(), bytes), 0)
+              << "gemm_tn " << simd::tier_name(tier) << " " << m << "x" << k
+              << "x" << n;
+        }
+      }
+    }
+  }
+  simd::reset_tier_from_env();
 }
 
 TEST(FusedHelpers, BiasAddMatchesManualLoop) {

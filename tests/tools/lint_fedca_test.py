@@ -269,6 +269,49 @@ class WallClockRule(LintFixtureCase):
         self.assert_clean("// lint:wallclock must waive the finding")
 
 
+class RawIntrinsicsRule(LintFixtureCase):
+    def test_flags_immintrin_in_src(self):
+        self.write("src/tensor/bad.cpp",
+                   "#include <immintrin.h>\n"
+                   "__m256 z() { return _mm256_setzero_ps(); }\n")
+        self.assert_flags("raw-intrinsics")
+
+    def test_flags_arm_neon_in_nn(self):
+        self.write("src/nn/bad.cpp",
+                   "#include <arm_neon.h>\n")
+        self.assert_flags("raw-intrinsics")
+
+    def test_flags_in_tests_and_bench(self):
+        self.write("tests/tensor/bad_test.cpp",
+                   "#include <x86intrin.h>\n")
+        self.write("bench/bad.cpp",
+                   "#include <immintrin.h>\n")
+        code, out = run_linter(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn("tests/tensor/bad_test.cpp:1: [raw-intrinsics]", out)
+        self.assertIn("bench/bad.cpp:1: [raw-intrinsics]", out)
+
+    def test_simd_tier_exempt(self):
+        # src/tensor/simd/ is the sanctioned home: its TUs carry the
+        # matching -mavx2/-mavx512f flags and sit behind the dispatcher.
+        self.write("src/tensor/simd/kernels_avx2.cpp",
+                   "#include <immintrin.h>\n"
+                   "__m256 z() { return _mm256_setzero_ps(); }\n")
+        self.assert_clean("src/tensor/simd/ may include intrinsics headers")
+
+    def test_comment_mention_is_clean(self):
+        self.write("src/tensor/good.cpp",
+                   "// The AVX2 path (#include <immintrin.h>) lives in "
+                   "src/tensor/simd/.\n")
+        self.assert_clean("a comment naming the header must not flag")
+
+    def test_waiver_honored(self):
+        self.write("src/util/waived.cpp",
+                   "#include <immintrin.h>  // lint:intrinsics _mm_pause "
+                   "spin hint only, no data path\n")
+        self.assert_clean("// lint:intrinsics must waive the finding")
+
+
 class ScenarioHardcodeRule(LintFixtureCase):
     def test_flags_default_constructed_options(self):
         self.write("tests/fl/bad_test.cpp",
@@ -322,7 +365,7 @@ class CliBehaviour(LintFixtureCase):
         self.assertEqual(proc.returncode, 0)
         for rule in ("raw-rng", "unordered-iter", "raw-tensor-alloc",
                      "fast-math", "float-accum", "wall-clock",
-                     "scenario-hardcode"):
+                     "raw-intrinsics", "scenario-hardcode"):
             self.assertIn(rule, proc.stdout)
 
     def test_missing_root_is_usage_error(self):

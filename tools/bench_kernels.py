@@ -7,7 +7,12 @@ The "before" column is the frozen pre-optimization baseline measured on the
 reference container (single-core Xeon 2.10 GHz, gcc 12, RelWithDebInfo)
 right before the blocked-GEMM/parallel-engine change landed; BM_GemmRef
 re-measures the retained naive kernel so the comparison stays honest on
-other hosts. Usage:
+other hosts.
+
+Provenance: the binary stamps fedca_build_type and fedca_simd_tier into
+the benchmark context (recorded in the output JSON). A debug build is
+refused with exit 2 — checked-in BENCH numbers must come from an
+optimized build. Usage:
 
     python3 tools/bench_kernels.py [--build build] [--out BENCH_kernels.json]
 """
@@ -60,6 +65,18 @@ def main() -> int:
         sys.stderr.write(run.stderr)
         return run.returncode
     data = json.loads(run.stdout)
+
+    context = data.get("context", {})
+    build_type = context.get("fedca_build_type")
+    if build_type != "release":
+        print(
+            f"error: refusing to record numbers from a "
+            f"'{build_type}' build — rebuild with NDEBUG "
+            "(Release/RelWithDebInfo) and rerun",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"dispatch tier: {context.get('fedca_simd_tier')}", file=sys.stderr)
 
     after = {}
     for bench in data.get("benchmarks", []):

@@ -6,7 +6,11 @@ counts and the reduction ratio.
 
 The harness overrides global operator new/delete in its own translation
 unit, so these numbers count every heap allocation in the process during
-the measured steady-state rounds (after warmup). Usage:
+the measured steady-state rounds (after warmup).
+
+Provenance: the harness reports its build_type and simd_tier; a debug
+build is refused with exit 2 so checked-in numbers always come from an
+optimized build. Usage:
 
     python3 tools/bench_memory.py [--build build] [--out BENCH_memory.json]
 """
@@ -50,6 +54,19 @@ def main() -> int:
         print(f"error: {binary} not built", file=sys.stderr)
         return 1
 
+    # Provenance probe (rounds=0 costs ~nothing): refuse debug builds
+    # before burning through the measurement arms.
+    probe = run_harness(binary, 0, 0, 0, 1)
+    if probe.get("build_type") != "release":
+        print(
+            f"error: refusing to record numbers from a "
+            f"'{probe.get('build_type')}' build — rebuild with NDEBUG "
+            "(Release/RelWithDebInfo) and rerun",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"dispatch tier: {probe.get('simd_tier')}", file=sys.stderr)
+
     runs = {}
     for workers in (1, 4):
         for pool in (0, 1):
@@ -68,6 +85,8 @@ def main() -> int:
         "description": "Heap allocations per steady-state federated round "
                        "(counting-allocator harness, CNN/8 clients/5 iters), "
                        "tensor buffer pool off vs on.",
+        "build_type": probe.get("build_type"),
+        "simd_tier": probe.get("simd_tier"),
         "rounds": args.rounds,
         "warmup": args.warmup,
         "runs": runs,

@@ -15,6 +15,10 @@ Three measurements, two of them gated:
     run_report.jsonl bytes (mode=report) identical across workers
     {1,2,8}.
 
+Provenance: the harness reports its build_type and simd_tier; a debug
+build is refused with exit 2 so checked-in numbers always come from an
+optimized build.
+
 Usage:
     python3 tools/bench_obs.py [--build build] [--out BENCH_obs.json]
 """
@@ -64,6 +68,15 @@ def main() -> int:
     # --- recorder throughput -------------------------------------------------
     events = run_harness(binary, mode="events", threads=args.threads,
                          count=args.count)
+    if events.get("build_type") != "release":
+        print(
+            f"error: refusing to record numbers from a "
+            f"'{events.get('build_type')}' build — rebuild with NDEBUG "
+            "(Release/RelWithDebInfo) and rerun",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"dispatch tier: {events.get('simd_tier')}", file=sys.stderr)
 
     # --- hot-loop overhead ---------------------------------------------------
     # Arms are interleaved (off, on, off, on, ...) so slow drift in machine
@@ -109,6 +122,8 @@ def main() -> int:
                        "recorder on vs off (FedCA round loop, CNN/8 clients), "
                        "and byte-identity of model state + run report across "
                        "worker counts and recorder on/off.",
+        "build_type": events.get("build_type"),
+        "simd_tier": events.get("simd_tier"),
         "events_per_second": round(events["events_per_second"], 1),
         "events_dropped": events["dropped"],
         "overhead": {

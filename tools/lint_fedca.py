@@ -55,6 +55,15 @@ Rules (each finding names its rule; see --list-rules):
                     Waiver: // lint:wallclock (e.g. the thread pool's
                     task-latency observer, which feeds metrics only).
 
+  raw-intrinsics    SIMD intrinsics live behind the runtime dispatch layer
+                    in src/tensor/simd/ — including <immintrin.h> /
+                    <x86intrin.h> / <arm_neon.h> anywhere else would scatter
+                    ISA-specific code past the tier boundary (and past the
+                    per-TU -mavx2/-mavx512f compile flags), breaking the
+                    scalar-fallback and determinism contracts. Applies to
+                    all C++ files outside src/tensor/simd/.
+                    Waiver: // lint:intrinsics
+
   scenario-hardcode New tests must describe experiments as scenario files
                     (scenarios/*.scn + fl/scenario.hpp), not hand-built
                     ExperimentOptions literals: a default-constructed or
@@ -118,6 +127,11 @@ ASSOCIATION_COMMENT = re.compile(r"(?://|\*).*associat", re.IGNORECASE)
 WALL_CLOCK = re.compile(
     r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\b")
 
+# Raw SIMD intrinsics headers — only the dispatch tier under
+# src/tensor/simd/ may include them (its TUs carry the matching -m flags).
+RAW_INTRINSICS = re.compile(
+    r'#\s*include\s*[<"](?:immintrin|x86intrin|arm_neon)\.h[>"]')
+
 # Default-construction or brace-init of ExperimentOptions: `Opts x;`,
 # `Opts x{...}`, `Opts x = {...}`. Copy-init from a call (`= tiny()`,
 # `= sc.options`, `= resolve_options(...)`) is the sanctioned pattern and
@@ -128,15 +142,12 @@ SCENARIO_HARDCODE = re.compile(r"\bExperimentOptions\s+\w+\s*(?:;|\{|=\s*\{)")
 # Frozen: convert a file to a loaded scenario to remove it; never add to
 # this list — new tests load scenarios/*.scn.
 SCENARIO_HARDCODE_LEGACY = {
-    "tests/bench/bench_common_test.cpp",
     "tests/core/adaptive_lr_test.cpp",
     "tests/core/edge_cases_test.cpp",
     "tests/core/fedca_test.cpp",
-    "tests/fl/compression_test.cpp",
     "tests/fl/parallel_determinism_test.cpp",
     "tests/fl/participation_test.cpp",
     "tests/fl/round_engine_test.cpp",
-    "tests/obs/round_report_test.cpp",
 }
 
 WAIVERS = {
@@ -145,6 +156,7 @@ WAIVERS = {
     "raw-tensor-alloc": "lint:alloc",
     "float-accum": "lint:fixed-assoc",
     "wall-clock": "lint:wallclock",
+    "raw-intrinsics": "lint:intrinsics",
     "scenario-hardcode": "lint:scenario",
 }
 
@@ -273,6 +285,20 @@ def lint_wall_clock(rel, lines, findings):
                 "observability only)"))
 
 
+def lint_raw_intrinsics(rel, lines, findings):
+    for no, line in enumerate(lines, 1):
+        if waived("raw-intrinsics", line):
+            continue
+        m = RAW_INTRINSICS.search(line)
+        if m and not is_comment_or_string_hit(line, m.start()):
+            findings.append(Finding(
+                rel, no, "raw-intrinsics",
+                "raw SIMD intrinsics header outside src/tensor/simd/ — "
+                "ISA-specific code belongs behind the dispatch tier "
+                "(tensor/simd/dispatch.hpp); add a kernel there instead "
+                "(waive with // lint:intrinsics)"))
+
+
 def lint_scenario_hardcode(rel, lines, findings):
     if rel in SCENARIO_HARDCODE_LEGACY:
         return
@@ -327,6 +353,8 @@ def lint_tree(root):
         if posix.startswith("src/") and \
                 not posix.startswith(("src/obs/", "src/sim/")):
             lint_wall_clock(posix, lines, findings)
+        if not posix.startswith("src/tensor/simd/"):
+            lint_raw_intrinsics(posix, lines, findings)
         if posix.startswith("tests/"):
             lint_scenario_hardcode(posix, lines, findings)
     return findings
@@ -344,7 +372,7 @@ def main():
     if args.list_rules:
         for rule in ("raw-rng", "unordered-iter", "raw-tensor-alloc",
                      "fast-math", "float-accum", "wall-clock",
-                     "scenario-hardcode"):
+                     "raw-intrinsics", "scenario-hardcode"):
             print(rule)
         return 0
 

@@ -18,6 +18,10 @@ Checks:
     collected;
   * straggler flags match the reported straggler count, and every
     straggler's duration >= straggler_threshold;
+  * eager byte accounting: per-client eager_bytes is non-negative and
+    never exceeds bytes_sent, and the round-level eager_bytes matches the
+    sum over clients (relative tolerance — values are serialized at %.10g,
+    so the stored sum and a recomputed sum differ in the last digit);
   * round indices strictly increase within a run segment (a reset to 0
     starts a new segment — one file may hold several back-to-back runs);
     same for async update indices; lost async updates carry weight 0 and
@@ -89,6 +93,7 @@ def check_round(i, obj):
     tallies = {key: 0 for key in TALLY_OF_OUTCOME.values()}
     stragglers = 0
     collected_weight = 0.0
+    eager_bytes = 0.0
     threshold = obj.get("straggler_threshold")
     for j, c in enumerate(clients):
         outcome = c.get("outcome")
@@ -102,6 +107,17 @@ def check_round(i, obj):
             collected_weight += weight
         elif weight != 0:
             fail(f"line {i}: client {j} is {outcome} but weight {weight} != 0")
+        client_eager = c.get("eager_bytes")
+        client_sent = c.get("bytes_sent")
+        if not is_number(client_eager) or client_eager < 0:
+            fail(f"line {i}: client {j} has bad eager_bytes {client_eager!r}")
+        # Tiny relative slack: both values were printed at %.10g.
+        if is_number(client_sent) and client_eager > client_sent * (1 + 1e-9) + 1e-9:
+            fail(
+                f"line {i}: client {j} eager_bytes {client_eager} exceeds "
+                f"bytes_sent {client_sent}"
+            )
+        eager_bytes += client_eager
         if c.get("straggler"):
             stragglers += 1
             duration = c.get("duration")
@@ -122,6 +138,14 @@ def check_round(i, obj):
         fail(
             f"line {i}: stragglers={obj.get('stragglers')} but "
             f"{stragglers} clients are flagged"
+        )
+    round_eager = obj.get("eager_bytes")
+    if not is_number(round_eager) or round_eager < 0:
+        fail(f"line {i}: round eager_bytes {round_eager!r} invalid")
+    if abs(round_eager - eager_bytes) > 1e-6 * max(1.0, abs(eager_bytes)):
+        fail(
+            f"line {i}: round eager_bytes {round_eager} != client sum "
+            f"{eager_bytes}"
         )
     if tallies["collected"] > 0 and abs(collected_weight - 1.0) > 1e-6:
         fail(

@@ -75,6 +75,21 @@ if [ "${FEDCA_BENCH_OBS:-1}" != "0" ]; then
     2>&1 | tee /root/repo/obs_bench_output.txt || exit 1
 fi
 
+# SIMD tier sweep: the kernel property suites must pass with the dispatch
+# forced to the portable scalar tier AND left on auto (best vector tier on
+# this host) — the two runs prove the tiers are interchangeable, and the
+# suites' own cross-tier memcmp checks prove they are bit-identical.
+# FEDCA_SIMD_SWEEP=0 skips.
+if [ "${FEDCA_SIMD_SWEEP:-1}" != "0" ]; then
+  echo "===== simd tier sweep =====" | tee /root/repo/simd_output.txt
+  for tier in scalar auto; do
+    for t in tensor_simd_kernels_test tensor_gemm_property_test; do
+      echo "--- $t (FEDCA_SIMD=$tier) ---"
+      FEDCA_SIMD=$tier "build/tests/$t" || exit 1
+    done
+  done 2>&1 | tee -a /root/repo/simd_output.txt
+fi
+
 # Observability smoke: a traced quickstart must produce a Chrome-trace file
 # that check_trace.py accepts, with the canonical span set present, and a
 # run_report.jsonl that tools/report.py validates structurally.
@@ -99,7 +114,8 @@ if [ "${FEDCA_TSAN:-1}" != "0" ]; then
     >>/root/repo/tsan_output.txt 2>&1 &&
   cmake --build build-tsan --target obs_metrics_test obs_trace_test \
     obs_recorder_test fl_round_engine_test fl_parallel_determinism_test \
-    fl_async_engine_test tensor_pool_test -j "$(nproc)" \
+    fl_async_engine_test tensor_pool_test tensor_simd_kernels_test \
+    tensor_gemm_property_test -j "$(nproc)" \
     >>/root/repo/tsan_output.txt 2>&1 &&
   for t in obs_metrics_test obs_trace_test obs_recorder_test \
            fl_round_engine_test fl_parallel_determinism_test \
@@ -108,6 +124,15 @@ if [ "${FEDCA_TSAN:-1}" != "0" ]; then
     # FEDCA_TENSOR_POOL=1 routes every Tensor buffer through the pool's
     # thread-cache/global-tier handoff while the engines run multithreaded.
     FEDCA_TENSOR_POOL=1 "build-tsan/tests/$t" || exit 1
+  done 2>&1 | tee -a /root/repo/tsan_output.txt
+  # Kernel property suites under TSan in both dispatch tiers: the packed
+  # GEMM's thread_local scratch and the once-resolved tier cache are the
+  # racy-by-construction pieces this pass is meant to vet.
+  for tier in scalar auto; do
+    for t in tensor_simd_kernels_test tensor_gemm_property_test; do
+      echo "--- $t (tsan, FEDCA_SIMD=$tier) ---"
+      FEDCA_SIMD=$tier FEDCA_TENSOR_POOL=1 "build-tsan/tests/$t" || exit 1
+    done
   done 2>&1 | tee -a /root/repo/tsan_output.txt
 fi
 
