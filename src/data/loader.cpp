@@ -35,9 +35,32 @@ std::size_t BatchLoader::batches_per_epoch() const {
   return (dataset_->size() + batch_size_ - 1) / batch_size_;
 }
 
+void BatchLoader::restore(const Cursor& cursor) {
+  if (cursor.epochs < epochs_) {
+    throw std::invalid_argument("BatchLoader::restore: cursor predates this loader");
+  }
+  if (cursor.position > order_.size()) {
+    throw std::invalid_argument("BatchLoader::restore: position past epoch end");
+  }
+  // Permutations compose deterministically: replaying the missing
+  // reshuffles reproduces the exact epoch order the saved loader had.
+  while (epochs_ < cursor.epochs) reshuffle();
+  cursor_ = cursor.position;
+}
+
+std::size_t BatchLoader::approx_bytes() const {
+  std::size_t bytes = sizeof(BatchLoader);
+  bytes += order_.capacity() * sizeof(std::size_t);
+  bytes += scratch_indices_.capacity() * sizeof(std::size_t);
+  bytes += batch_.inputs.numel() * sizeof(float);
+  bytes += batch_.labels.capacity() * sizeof(int);
+  return bytes;
+}
+
 void BatchLoader::reshuffle() {
   rng_.shuffle(order_);
   cursor_ = 0;
+  ++epochs_;
 }
 
 }  // namespace fedca::data

@@ -27,6 +27,27 @@ class BatchLoader {
   // Batches per full pass over the shard (ceiling).
   std::size_t batches_per_epoch() const;
 
+  // Compact resumable position: the loader's entire stream state is
+  // (number of reshuffles so far, offset into the current epoch) because
+  // every permutation is a deterministic function of the construction RNG.
+  // A freshly constructed loader with the same dataset/batch_size/rng,
+  // restore()d to a saved cursor, continues the exact batch sequence —
+  // this is what lets sim::ClientRegistry-backed engines keep 16 bytes per
+  // client instead of a live loader.
+  struct Cursor {
+    std::size_t epochs = 0;    // reshuffles performed (>= 1 once constructed)
+    std::size_t position = 0;  // index into the current epoch's order
+  };
+  Cursor cursor() const { return Cursor{epochs_, cursor_}; }
+  // Replays shuffles until the loader has performed `cursor.epochs`
+  // reshuffles, then seeks to `cursor.position`. Must be called on a fresh
+  // loader (constructed, never advanced) with cursor.epochs >= 1.
+  void restore(const Cursor& cursor);
+
+  // Approximate live heap footprint in bytes (used by the scale bench's
+  // legacy-vs-registry client-state accounting).
+  std::size_t approx_bytes() const;
+
  private:
   void reshuffle();
 
@@ -35,6 +56,7 @@ class BatchLoader {
   util::Rng rng_;
   std::vector<std::size_t> order_;
   std::size_t cursor_ = 0;
+  std::size_t epochs_ = 0;  // reshuffle() calls so far
   std::vector<std::size_t> scratch_indices_;
   Batch batch_;
 };

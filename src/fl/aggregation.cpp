@@ -7,6 +7,13 @@
 
 namespace fedca::fl {
 
+std::size_t collect_quota(std::size_t quota_base, double fraction) {
+  fraction = std::clamp(fraction, 1e-9, 1.0);
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(fraction * static_cast<double>(quota_base))));
+}
+
 std::vector<std::size_t> select_earliest(const std::vector<ClientRoundResult>& results,
                                          double fraction) {
   if (results.empty()) return {};
@@ -19,10 +26,7 @@ std::vector<std::size_t> select_earliest(const std::vector<ClientRoundResult>& r
                                          const std::vector<std::size_t>& candidates,
                                          std::size_t quota_base, double fraction) {
   if (candidates.empty()) return {};
-  fraction = std::clamp(fraction, 1e-9, 1.0);
-  const auto quota = std::max<std::size_t>(
-      1, static_cast<std::size_t>(
-             std::ceil(fraction * static_cast<double>(quota_base))));
+  const std::size_t quota = collect_quota(quota_base, fraction);
   std::vector<std::size_t> order = candidates;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     if (results[a].arrival_time != results[b].arrival_time) {
@@ -61,6 +65,57 @@ std::vector<double> apply_aggregated_update(nn::ModelState& global,
     normalized.push_back(share);
   }
   return normalized;
+}
+
+StreamingQuorum::StreamingQuorum(std::vector<ClientRoundResult>* results,
+                                 std::size_t quota, double timeout_cut)
+    : results_(results), quota_(quota), timeout_cut_(timeout_cut) {
+  if (results_ == nullptr) {
+    throw std::invalid_argument("StreamingQuorum: null results");
+  }
+  heap_.reserve(std::min(quota_, results_->size()));
+}
+
+bool StreamingQuorum::eligible(const ClientRoundResult& r) const {
+  // Mirrors the main thread's candidate filter bit for bit.
+  if (r.failed || !std::isfinite(r.arrival_time)) return false;
+  return !(r.arrival_time > timeout_cut_);
+}
+
+void StreamingQuorum::discard(ClientRoundResult& r) {
+  r.applied_update = nn::ModelState{};
+  for (EagerRecord& e : r.eager) e.value = tensor::Tensor{};
+}
+
+void StreamingQuorum::offer(std::size_t index) {
+  std::vector<ClientRoundResult>& results = *results_;
+  // select_earliest's strict total order. Used as the heap comparator it
+  // puts the latest retained entry at the front (evicted first).
+  const auto earlier = [&results](std::size_t a, std::size_t b) {
+    if (results[a].arrival_time != results[b].arrival_time) {
+      return results[a].arrival_time < results[b].arrival_time;
+    }
+    return results[a].client_id < results[b].client_id;
+  };
+  util::MutexLock lock(mutex_);
+  if (!eligible(results[index])) {
+    discard(results[index]);
+    return;
+  }
+  if (heap_.size() < quota_) {
+    heap_.push_back(index);
+    std::push_heap(heap_.begin(), heap_.end(), earlier);
+    return;
+  }
+  // Full: either the newcomer or the current latest retained entry goes.
+  if (!earlier(index, heap_.front())) {
+    discard(results[index]);
+    return;
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), earlier);
+  discard(results[heap_.back()]);
+  heap_.back() = index;
+  std::push_heap(heap_.begin(), heap_.end(), earlier);
 }
 
 }  // namespace fedca::fl

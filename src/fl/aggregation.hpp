@@ -11,8 +11,15 @@
 
 #include "fl/types.hpp"
 #include "nn/state.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace fedca::fl {
+
+// Quota of the earliest-arrival rule: ceil(fraction * quota_base),
+// clamped to at least 1 (fraction itself clamped to (0, 1]). Must match
+// select_earliest's internal computation exactly.
+std::size_t collect_quota(std::size_t quota_base, double fraction);
 
 // Indices of the earliest ceil(fraction * n) results by arrival time
 // (ties broken by client id for determinism). fraction is clamped to
@@ -37,5 +44,42 @@ std::vector<std::size_t> select_earliest(const std::vector<ClientRoundResult>& r
 std::vector<double> apply_aggregated_update(nn::ModelState& global,
                                             const std::vector<ClientRoundResult>& results,
                                             const std::vector<std::size_t>& selected);
+
+// Streaming collection: bounds the number of client updates held in memory
+// at any instant to the collect quota, without changing what gets
+// aggregated.
+//
+// Workers call offer(i) the moment slot i's result lands. The quorum keeps
+// the quota entries that are smallest under select_earliest's strict total
+// order (arrival_time, then client_id) among eligible results — exactly
+// the set the main thread's candidate filter + select_earliest will pick —
+// and immediately frees the update payload (applied_update and eager layer
+// tensors) of everything else: ineligible results (failed / non-finite
+// arrival / past the upload timeout) and entries evicted when a smaller
+// arrival displaces them. Bookkeeping fields (arrival times, byte counts,
+// eager metadata) are left intact, so records, reports and metrics are
+// byte-identical with streaming on or off.
+class StreamingQuorum {
+ public:
+  // `results` must stay alive and keep its size for the quorum's lifetime;
+  // slots may be written concurrently but each slot only before its offer.
+  StreamingQuorum(std::vector<ClientRoundResult>* results, std::size_t quota,
+                  double timeout_cut);
+
+  // Thread-safe. Must be called exactly once per completed slot.
+  void offer(std::size_t index);
+
+ private:
+  bool eligible(const ClientRoundResult& r) const;
+  static void discard(ClientRoundResult& r);
+
+  std::vector<ClientRoundResult>* results_;
+  std::size_t quota_;
+  double timeout_cut_;
+  util::Mutex mutex_;
+  // Max-heap of retained slot indices, ordered by (arrival_time, client_id)
+  // descending at the root; size <= quota_.
+  std::vector<std::size_t> heap_ FEDCA_GUARDED_BY(mutex_);
+};
 
 }  // namespace fedca::fl

@@ -1,7 +1,9 @@
 #include "fl/async_engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "nn/sgd.hpp"
@@ -43,7 +45,11 @@ AsyncEngine::AsyncEngine(nn::Classifier* model, sim::Cluster* cluster,
   if (model_ == nullptr || cluster_ == nullptr) {
     throw std::invalid_argument("AsyncEngine: null dependency");
   }
-  if (shards_.size() != cluster_->size()) {
+  if (cluster_->compact()) {
+    if (shards_.empty() || shards_.size() > cluster_->size()) {
+      throw std::invalid_argument("AsyncEngine: shard pool size invalid");
+    }
+  } else if (shards_.size() != cluster_->size()) {
     throw std::invalid_argument("AsyncEngine: shard count mismatch");
   }
   if (options_.local_iterations == 0) {
@@ -52,10 +58,19 @@ AsyncEngine::AsyncEngine(nn::Classifier* model, sim::Cluster* cluster,
   if (options_.mix <= 0.0 || options_.mix > 1.0) {
     throw std::invalid_argument("AsyncEngine: mix must be in (0, 1]");
   }
-  loaders_.reserve(shards_.size());
-  for (std::size_t c = 0; c < shards_.size(); ++c) {
-    loaders_.emplace_back(&shards_[c], options_.batch_size, rng.fork(0xA517C + c));
+  if (cluster_->compact()) {
+    // Lazy loaders (fork() is pure): same streams as the eager loop below.
+    loader_rng_ = rng;
+    loader_cursors_.resize(cluster_->size());
+  } else {
+    loaders_.reserve(shards_.size());
+    for (std::size_t c = 0; c < shards_.size(); ++c) {
+      loaders_.emplace_back(&shards_[c], options_.batch_size, rng.fork(0xA517C + c));
+    }
   }
+  tensor::BufferPool::set_capacity_hint(
+      static_cast<std::size_t>(model_->state().numel()) * sizeof(float),
+      util::ThreadPool::resolve_workers(options_.worker_threads));
   // Arm the crash-dump seam before any launch can hit an injected fault:
   // a permanent crash flushes the flight recorder / metrics / report so
   // the tail of the run survives.
@@ -93,6 +108,27 @@ util::ThreadPool& AsyncEngine::dispatch_pool(std::size_t workers) {
   return *own_pool_;
 }
 
+void AsyncEngine::train_cycle(nn::Classifier& net, std::size_t c) {
+  nn::SgdOptimizer optimizer(net.parameters(), options_.optimizer);
+  data::BatchLoader* loader = nullptr;
+  std::optional<data::BatchLoader> local_loader;
+  if (loaders_.empty()) {
+    local_loader.emplace(&shards_[c % shards_.size()], options_.batch_size,
+                         loader_rng_.fork(0xA517C + c));
+    const data::BatchLoader::Cursor& cur = loader_cursors_[c];
+    if (cur.epochs > 0 || cur.position > 0) local_loader->restore(cur);
+    loader = &*local_loader;
+  } else {
+    loader = &loaders_[c];
+  }
+  for (std::size_t it = 0; it < options_.local_iterations; ++it) {
+    const data::Batch& batch = loader->next_batch();
+    net.compute_gradients(batch.inputs, batch.labels);
+    optimizer.step();
+  }
+  if (local_loader.has_value()) loader_cursors_[c] = local_loader->cursor();
+}
+
 void AsyncEngine::train_pending(InFlight& winner_flight, std::size_t winner) {
   if (!clone_checked_) {
     clone_checked_ = true;
@@ -105,18 +141,13 @@ void AsyncEngine::train_pending(InFlight& winner_flight, std::size_t winner) {
     // Legacy serial path: train only the winner, in place on the shared
     // model (batch-norm buffers chain arrival-to-arrival exactly as
     // before).
-    model_->load(winner_flight.snapshot);
+    model_->load(*winner_flight.snapshot);
     model_->set_training(true);
-    nn::SgdOptimizer optimizer(model_->parameters(), options_.optimizer);
-    for (std::size_t it = 0; it < options_.local_iterations; ++it) {
-      const data::Batch& batch = loaders_[winner].next_batch();
-      model_->compute_gradients(batch.inputs, batch.labels);
-      optimizer.step();
-    }
+    train_cycle(*model_, winner);
     nn::capture_state_into(model_->parameters(), winner_flight.update);
-    nn::state_sub_inplace(winner_flight.update, winner_flight.snapshot);
+    nn::state_sub_inplace(winner_flight.update, *winner_flight.snapshot);
     winner_flight.trained = true;
-    winner_flight.snapshot = nn::ModelState{};
+    winner_flight.snapshot.reset();
     return;
   }
 
@@ -126,17 +157,37 @@ void AsyncEngine::train_pending(InFlight& winner_flight, std::size_t winner) {
   // loader consumption order is the client's cycle order no matter when or
   // on which thread training runs). The batch set itself is a function of
   // virtual time only — worker-count invariant.
-  std::vector<InFlight*> jobs;
-  std::vector<std::size_t> ids;
-  jobs.reserve(in_flight_.size());
-  ids.reserve(in_flight_.size());
-  jobs.push_back(&winner_flight);
-  ids.push_back(winner);
+  std::vector<std::size_t> others;
+  others.reserve(in_flight_.size());
   for (std::size_t c = 0; c < in_flight_.size(); ++c) {
     if (c == winner) continue;
-    InFlight& f = in_flight_[c];
+    const InFlight& f = in_flight_[c];
     if (f.dead || f.lost || f.trained || !std::isfinite(f.arrival_time)) continue;
-    jobs.push_back(&f);
+    others.push_back(c);
+  }
+  // Speculation bound: keep the earliest-arriving cap-1 companions (ties by
+  // client id). Dropped cycles simply train in a later batch or at their
+  // own arrival — the per-cycle result is unchanged either way.
+  if (options_.speculative_cap > 0 &&
+      others.size() + 1 > options_.speculative_cap) {
+    const std::size_t keep = options_.speculative_cap - 1;
+    std::sort(others.begin(), others.end(), [this](std::size_t a, std::size_t b) {
+      if (in_flight_[a].arrival_time != in_flight_[b].arrival_time) {
+        return in_flight_[a].arrival_time < in_flight_[b].arrival_time;
+      }
+      return a < b;
+    });
+    others.resize(keep);
+    std::sort(others.begin(), others.end());
+  }
+  std::vector<InFlight*> jobs;
+  std::vector<std::size_t> ids;
+  jobs.reserve(others.size() + 1);
+  ids.reserve(others.size() + 1);
+  jobs.push_back(&winner_flight);
+  ids.push_back(winner);
+  for (const std::size_t c : others) {
+    jobs.push_back(&in_flight_[c]);
     ids.push_back(c);
   }
 
@@ -145,19 +196,14 @@ void AsyncEngine::train_pending(InFlight& winner_flight, std::size_t winner) {
     InFlight& f = *jobs[i];
     std::unique_ptr<nn::Classifier> replica = acquire_replica();
     if (!base_buffers.empty()) nn::load_buffers(replica->backbone(), base_buffers);
-    replica->load(f.snapshot);
+    replica->load(*f.snapshot);
     replica->set_training(true);
-    nn::SgdOptimizer optimizer(replica->parameters(), options_.optimizer);
-    for (std::size_t it = 0; it < options_.local_iterations; ++it) {
-      const data::Batch& batch = loaders_[ids[i]].next_batch();
-      replica->compute_gradients(batch.inputs, batch.labels);
-      optimizer.step();
-    }
+    train_cycle(*replica, ids[i]);
     nn::capture_state_into(replica->parameters(), f.update);
-    nn::state_sub_inplace(f.update, f.snapshot);
+    nn::state_sub_inplace(f.update, *f.snapshot);
     if (!base_buffers.empty()) f.buffers = nn::capture_buffers(replica->backbone());
     f.trained = true;
-    f.snapshot = nn::ModelState{};  // no longer needed; free the copy
+    f.snapshot.reset();  // no longer needed; drop this cycle's reference
     release_replica(std::move(replica));
   };
 
@@ -205,7 +251,8 @@ void AsyncEngine::launch(std::size_t c, double t) {
     }
   }
 
-  sim::ClientDevice& device = cluster_->client(c);
+  sim::DeviceLease device_lease = cluster_->lease(c);
+  sim::ClientDevice& device = *device_lease;
   const double bytes_per_param = model_->info().bytes_per_actual_param();
   const double model_bytes =
       static_cast<double>(global_.numel()) * bytes_per_param +
@@ -281,7 +328,12 @@ void AsyncEngine::launch(std::size_t c, double t) {
   }
 
   flight.arrival_time = upload.end;
-  flight.snapshot = global_;
+  // All cycles launched at the current version share one immutable copy.
+  if (snapshot_cache_ == nullptr || snapshot_version_ != version_) {
+    snapshot_cache_ = std::make_shared<const nn::ModelState>(global_);
+    snapshot_version_ = version_;
+  }
+  flight.snapshot = snapshot_cache_;
   in_flight_[c] = std::move(flight);
 }
 

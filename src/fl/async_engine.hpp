@@ -60,6 +60,12 @@ struct AsyncEngineOptions {
   // are bit-identical for any worker count. Requires a cloneable model;
   // otherwise cycles train serially at arrival (legacy behavior).
   std::size_t worker_threads = 0;
+  // Cap on how many cycles one speculative batch may train (winner plus
+  // the earliest-arriving others). 0 = unlimited, the historical behavior;
+  // a bound keeps one batch's replica/update memory O(cap) when the
+  // population is huge. Training remains bit-identical per cycle — only
+  // *when* a cycle trains (speculatively vs at its own arrival) changes.
+  std::size_t speculative_cap = 0;
 };
 
 struct AsyncUpdateRecord {
@@ -101,7 +107,10 @@ class AsyncEngine {
   struct InFlight {
     double arrival_time = 0.0;
     std::size_t downloaded_version = 0;
-    nn::ModelState snapshot;  // the global the client trained from
+    // The global the client trained from. Shared: every cycle launched at
+    // the same global version points at one immutable copy, so in-flight
+    // memory is O(distinct versions), not O(clients) x O(model).
+    std::shared_ptr<const nn::ModelState> snapshot;
     bool lost = false;        // cycle abandoned at arrival_time
     // Why the cycle was abandoned ("crash"/"dropout"/"timeout"); points at
     // a string literal, consumed by the RoundReport pipeline.
@@ -116,6 +125,9 @@ class AsyncEngine {
 
   // Starts client `c`'s next cycle at virtual time `t`.
   void launch(std::size_t c, double t);
+  // Runs client c's K-iteration SGD pass on `net` (already loaded with the
+  // cycle's snapshot), pulling batches from the client's loader stream.
+  void train_cycle(nn::Classifier& net, std::size_t c);
   // Trains `winner_flight` (client `winner`) plus every other untrained
   // live in-flight cycle, concurrently on replicas when the model is
   // cloneable. Fills each flight's `update` / `buffers` / `trained`.
@@ -128,9 +140,18 @@ class AsyncEngine {
   sim::Cluster* cluster_;
   std::vector<data::Dataset> shards_;
   AsyncEngineOptions options_;
+  // Legacy clusters: one persistent loader per client. Compact clusters:
+  // loaders are rebuilt per training pass from loader_rng_'s pure
+  // per-client fork plus the stored cursor (same scheme as RoundEngine).
   std::vector<data::BatchLoader> loaders_;
+  util::Rng loader_rng_;
+  std::vector<data::BatchLoader::Cursor> loader_cursors_;
   std::vector<InFlight> in_flight_;  // one slot per client
   nn::ModelState global_;
+  // Shared snapshot of `global_` at `snapshot_version_`, handed to every
+  // cycle launched before the next version bump.
+  std::shared_ptr<const nn::ModelState> snapshot_cache_;
+  std::size_t snapshot_version_ = 0;
   std::size_t version_ = 0;
   double clock_ = 0.0;
   // Trace pids (server + one per client), reserved lazily on the first

@@ -59,7 +59,9 @@ ExperimentSetup make_setup(const ExperimentOptions& options, Scheme& scheme) {
   setup.test_set = task.sample(options.test_samples, test_rng);
 
   data::PartitionOptions part;
-  part.num_clients = options.num_clients;
+  part.num_clients = options.shard_pool > 0
+                         ? std::min(options.shard_pool, options.num_clients)
+                         : options.num_clients;
   part.num_classes = options.data_spec.num_classes;
   part.alpha = options.dirichlet_alpha;
   part.min_examples_per_client = std::max<std::size_t>(2, options.batch_size / 2);

@@ -26,6 +26,11 @@ namespace fedca::fl {
 struct ExperimentOptions {
   nn::ModelKind model = nn::ModelKind::kCnn;
   std::size_t num_clients = 24;
+  // Number of distinct data shards. 0 (default) partitions one shard per
+  // client; a smaller pool lets million-client populations share shards
+  // (client c reads shard c % shard_pool) so data stays O(pool), not
+  // O(clients). Requires the compact cluster registry when < num_clients.
+  std::size_t shard_pool = 0;
   std::size_t local_iterations = 40;   // K
   std::size_t batch_size = 16;
   double dirichlet_alpha = 0.1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -36,7 +37,17 @@ RoundEngine::RoundEngine(nn::Classifier* model, sim::Cluster* cluster,
   if (model_ == nullptr || cluster_ == nullptr || scheme_ == nullptr) {
     throw std::invalid_argument("RoundEngine: null dependency");
   }
-  if (shards_.size() != cluster_->size()) {
+  if (cluster_->compact()) {
+    // Compact clusters may share a shard pool smaller than the population
+    // (client c reads shards_[c % pool]); an oversized pool is still a
+    // caller bug.
+    if (shards_.empty() || shards_.size() > cluster_->size()) {
+      throw std::invalid_argument("RoundEngine: shard pool size " +
+                                  std::to_string(shards_.size()) +
+                                  " invalid for cluster size " +
+                                  std::to_string(cluster_->size()));
+    }
+  } else if (shards_.size() != cluster_->size()) {
     throw std::invalid_argument("RoundEngine: shard count " +
                                 std::to_string(shards_.size()) + " != cluster size " +
                                 std::to_string(cluster_->size()));
@@ -47,12 +58,25 @@ RoundEngine::RoundEngine(nn::Classifier* model, sim::Cluster* cluster,
   if (options_.participation_fraction <= 0.0 || options_.participation_fraction > 1.0) {
     throw std::invalid_argument("RoundEngine: participation_fraction must be in (0, 1]");
   }
-  loaders_.reserve(shards_.size());
-  for (std::size_t c = 0; c < shards_.size(); ++c) {
-    loaders_.emplace_back(&shards_[c], options_.batch_size, rng.fork(0xB00C + c));
+  if (cluster_->compact()) {
+    // Lazy loaders: fork() is pure, so snapshotting the parent here yields
+    // the exact per-client streams the eager loop below would produce.
+    loader_rng_ = rng;
+    loader_cursors_.resize(cluster_->size());
+  } else {
+    loaders_.reserve(shards_.size());
+    for (std::size_t c = 0; c < shards_.size(); ++c) {
+      loaders_.emplace_back(&shards_[c], options_.batch_size, rng.fork(0xB00C + c));
+    }
   }
   selection_rng_ = rng.fork(0x5E1EC7);
   global_ = model_->state();
+  // Size the tensor pool's global tier to this workload: one model footprint
+  // of layer buffers per worker plus one spare (no-op while the pool is at a
+  // larger hint already; never shrinks below the historical 64 slots).
+  tensor::BufferPool::set_capacity_hint(
+      static_cast<std::size_t>(global_.numel()) * sizeof(float),
+      util::ThreadPool::resolve_workers(options_.worker_threads));
   scheme_->bind(cluster_->size(), options_.local_iterations);
   // Injected crashes flush the flight recorder's last events per thread:
   // the engine is the component that interprets fault schedules, so it
@@ -61,6 +85,13 @@ RoundEngine::RoundEngine(nn::Classifier* model, sim::Cluster* cluster,
 }
 
 void RoundEngine::load_global_into_model() { model_->load(global_); }
+
+std::size_t RoundEngine::live_loader_bytes() const {
+  std::size_t bytes = 0;
+  for (const data::BatchLoader& loader : loaders_) bytes += loader.approx_bytes();
+  bytes += loader_cursors_.capacity() * sizeof(data::BatchLoader::Cursor);
+  return bytes;
+}
 
 std::unique_ptr<nn::Classifier> RoundEngine::acquire_replica() {
   {
@@ -156,6 +187,24 @@ RoundRecord RoundEngine::run_round() {
     participants = std::move(alive);
   }
 
+  // Availability dynamics: clients that are offline at round start (renewal
+  // churn, diurnal modulation, correlated outages) are skipped for the
+  // round, exactly as a production selector would fail to reach them. The
+  // layer off (the default) leaves the participant list untouched.
+  if (cluster_->availability_enabled()) {
+    record.population = cluster_->size();
+    std::vector<std::size_t> online;
+    online.reserve(participants.size());
+    for (const std::size_t c : participants) {
+      if (cluster_->online_at(c, clock_)) online.push_back(c);
+    }
+    record.offline = participants.size() - online.size();
+    if (record.offline > 0) {
+      FEDCA_MCOUNT("population.offline_skips", static_cast<double>(record.offline));
+    }
+    participants = std::move(online);
+  }
+
   // Per-participant round facts, built serially in participant order.
   std::vector<RoundInfo> infos(participants.size());
   for (std::size_t i = 0; i < participants.size(); ++i) {
@@ -176,12 +225,32 @@ RoundRecord RoundEngine::run_round() {
   }
 
   record.clients.resize(participants.size());
+
+  // Round-relative upload cut-off, fixed before training starts (it only
+  // depends on the round start time).
+  const double timeout_cut = options_.upload_timeout == kNoDeadline
+                                 ? kNoDeadline
+                                 : record.start_time + options_.upload_timeout;
+  // Streaming aggregation: free non-quorum payloads the moment each slot
+  // lands instead of buffering the whole cohort until selection.
+  const bool streaming =
+      options_.streaming == StreamingMode::kOn ||
+      (options_.streaming == StreamingMode::kAuto && cluster_->compact());
+  std::unique_ptr<StreamingQuorum> quorum;
+  if (streaming && !record.clients.empty()) {
+    quorum = std::make_unique<StreamingQuorum>(
+        &record.clients,
+        collect_quota(record.clients.size(), options_.collect_fraction),
+        timeout_cut);
+  }
+
   if (!cloneable_) {
     // Legacy serial path: the model cannot be cloned, so every client
     // trains in place on the shared instance, in participant order.
     bool trained = false;
     for (std::size_t i = 0; i < participants.size(); ++i) {
       record.clients[i] = run_client(participants[i], infos[i], *model_, &trained);
+      if (quorum) quorum->offer(i);
     }
   } else {
     // Replica path (used for EVERY worker count so batch-norm buffer
@@ -204,6 +273,7 @@ RoundRecord RoundEngine::run_round() {
       }
       slot_trained[i] = trained ? 1 : 0;
       release_replica(std::move(replica));
+      if (quorum) quorum->offer(i);
     };
     const std::size_t workers = util::ThreadPool::resolve_workers(options_.worker_threads);
     if (workers <= 1 || participants.size() <= 1) {
@@ -246,9 +316,6 @@ RoundRecord RoundEngine::run_round() {
   // participant is a candidate and the selection below reduces exactly to
   // the original collect_fraction rule.
   obs::TraceCollector& tracer = obs::TraceCollector::global();
-  const double timeout_cut = options_.upload_timeout == kNoDeadline
-                                 ? kNoDeadline
-                                 : record.start_time + options_.upload_timeout;
   std::vector<std::size_t> candidates;
   candidates.reserve(record.clients.size());
   for (std::size_t i = 0; i < record.clients.size(); ++i) {
@@ -354,6 +421,8 @@ RoundRecord RoundEngine::run_round() {
     report.start_time = record.start_time;
     report.end_time = record.end_time;
     report.deadline = record.deadline;  // kNoDeadline serializes as null
+    report.population = record.population;
+    report.offline = record.offline;
     std::vector<char> collected_flag(record.clients.size(), 0);
     std::vector<double> weight_of(record.clients.size(), 0.0);
     for (std::size_t j = 0; j < record.collected.size(); ++j) {
@@ -407,14 +476,19 @@ RoundRecord RoundEngine::run_round() {
 
 ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo& info,
                                           nn::Classifier& model, bool* trained) {
-  sim::ClientDevice& device = cluster_->client(client_id);
+  // In compact mode the lease materializes a pooled replica from the
+  // registry record and commits link state back when it drops (including
+  // on every early return below); legacy mode borrows the live device.
+  sim::DeviceLease device_lease = cluster_->lease(client_id);
+  sim::ClientDevice& device = *device_lease;
   ClientPolicy& policy = scheme_->client_policy(client_id);
   const double bytes_per_param = model.info().bytes_per_actual_param();
   const double iteration_work = model.info().nominal_iteration_seconds;
+  const std::size_t shard = client_id % shards_.size();
 
   ClientRoundResult result;
   result.client_id = client_id;
-  result.weight = static_cast<double>(shards_[client_id].size());
+  result.weight = static_cast<double>(shards_[shard].size());
   result.planned_iterations = info.planned_iterations;
 
   // Optional lossy codec on everything this client uploads this round.
@@ -506,7 +580,20 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
                         {"round", std::to_string(info.round_index)}});
   }
 
-  // 2. Local training.
+  // 2. Local training. Legacy clusters use the client's persistent loader;
+  // compact clusters rebuild it from the pure per-client fork and the
+  // stored (epoch, position) cursor — same stream, O(cohort) live loaders.
+  data::BatchLoader* loader = nullptr;
+  std::optional<data::BatchLoader> local_loader;
+  if (loaders_.empty()) {
+    local_loader.emplace(&shards_[shard], options_.batch_size,
+                         loader_rng_.fork(0xB00C + client_id));
+    const data::BatchLoader::Cursor& cur = loader_cursors_[client_id];
+    if (cur.epochs > 0 || cur.position > 0) local_loader->restore(cur);
+    loader = &*local_loader;
+  } else {
+    loader = &loaders_[client_id];
+  }
   model.load(global_);
   model.set_training(true);
   *trained = true;  // at least one SGD step always runs past this point
@@ -534,7 +621,7 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
       FEDCA_KERNEL_SPAN("sgd.step");
       // Reference into the loader's reused batch storage — no per-iteration
       // gather allocation.
-      const data::Batch& batch = loaders_[client_id].next_batch();
+      const data::Batch& batch = loader->next_batch();
       loss_sum += model.compute_gradients(batch.inputs, batch.labels);
       optimizer.step();
     }
@@ -642,6 +729,9 @@ ClientRoundResult RoundEngine::run_client(std::size_t client_id, const RoundInfo
       FEDCA_MCOUNT("engine.early_stops", 1.0);
       break;
     }
+  }
+  if (local_loader.has_value()) {
+    loader_cursors_[client_id] = local_loader->cursor();
   }
   result.iterations_run = iterations;
   result.early_stopped = stopped_early;

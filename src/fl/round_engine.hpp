@@ -42,6 +42,13 @@
 
 namespace fedca::fl {
 
+// Whether run_round frees non-quorum update payloads as results stream in
+// (see StreamingQuorum). kAuto turns streaming on exactly when the cluster
+// is compact: legacy single-process experiments (and tests that inspect
+// per-client applied updates after the round) keep every payload, scale
+// runs hold at most quota + in-flight updates live.
+enum class StreamingMode { kAuto, kOn, kOff };
+
 struct RoundEngineOptions {
   std::size_t local_iterations = 125;  // K
   std::size_t batch_size = 50;
@@ -71,6 +78,9 @@ struct RoundEngineOptions {
   // thread. Requires the model to be cloneable (Module::clone); otherwise
   // the engine silently trains serially on the shared instance.
   std::size_t worker_threads = 0;
+  // Streaming aggregation memory bound (payloads only; never changes the
+  // aggregate). See StreamingMode.
+  StreamingMode streaming = StreamingMode::kAuto;
 };
 
 class RoundEngine {
@@ -94,6 +104,9 @@ class RoundEngine {
   // Loads the current global weights into the shared model replica (used
   // before evaluation).
   void load_global_into_model();
+  // Bytes of live per-client loader state (persistent loaders in legacy
+  // mode, compact cursors in registry mode) — scale bench accounting.
+  std::size_t live_loader_bytes() const;
 
  private:
   // Trains one client on `model` (the shared instance on the serial path, a
@@ -124,7 +137,15 @@ class RoundEngine {
   std::vector<data::Dataset> shards_;
   Scheme* scheme_;
   RoundEngineOptions options_;
+  // Legacy clusters keep one persistent loader per client. Compact clusters
+  // defer loaders entirely: run_client builds a throwaway loader from
+  // loader_rng_'s per-client fork (forks are pure, so the stream is
+  // re-derivable at any time) and loader_cursors_ carries each client's
+  // 16-byte (reshuffle epoch, position) state between leases — bit-identical
+  // batches at O(cohort) instead of O(clients) loader memory.
   std::vector<data::BatchLoader> loaders_;
+  util::Rng loader_rng_;
+  std::vector<data::BatchLoader::Cursor> loader_cursors_;
   nn::ModelState global_;
   util::Rng selection_rng_;
   double clock_ = 0.0;

@@ -243,6 +243,28 @@ Scenario parse_scenario(const std::string& text, const std::string& filename) {
                         "key 'slowdown_hi': must be >= slowdown_lo");
   }
 
+  // [population] — million-client scale-out knobs: the compact client
+  // registry and the availability-dynamics layer. Absent section keeps the
+  // legacy representation and no availability gating (bit-identical runs).
+  doc.allow_section("population");
+  cl.compact = doc.get_bool("population", "registry", cl.compact);
+  sim::AvailabilityOptions& av = cl.availability;
+  av.enabled = doc.get_bool("population", "availability", av.enabled);
+  av.mean_on = doc.get_double("population", "mean_on", av.mean_on, 1e-6, kMaxD);
+  av.mean_off =
+      doc.get_double("population", "mean_off", av.mean_off, 1e-6, kMaxD);
+  av.day_period =
+      doc.get_double("population", "day_period", av.day_period, 1e-6, kMaxD);
+  av.day_amplitude = doc.get_double("population", "day_amplitude",
+                                    av.day_amplitude, 0.0, 0.9);
+  av.outage_groups = doc.get_size("population", "outage_groups",
+                                  av.outage_groups, 0, 1000000);
+  av.outage_rate =
+      doc.get_double("population", "outage_rate", av.outage_rate, 0.0, 1e6);
+  av.outage_mean =
+      doc.get_double("population", "outage_mean", av.outage_mean, 0.0, kMaxD);
+  av.seed = doc.get_u64("population", "seed", av.seed);
+
   // [faults]
   doc.allow_section("faults");
   sim::FaultScheduleOptions& f = o.faults;
@@ -386,6 +408,21 @@ std::string to_string(const Scenario& sc) {
   kvb("dynamicity", cl.dynamicity.enabled);
   kvd("slowdown_lo", cl.dynamicity.slowdown_lo);
   kvd("slowdown_hi", cl.dynamicity.slowdown_hi);
+
+  if (cl.compact || cl.availability.enabled) {
+    const sim::AvailabilityOptions& av = cl.availability;
+    out << "\n[population]\n";
+    kvb("registry", cl.compact);
+    kvb("availability", av.enabled);
+    kvd("mean_on", av.mean_on);
+    kvd("mean_off", av.mean_off);
+    kvd("day_period", av.day_period);
+    kvd("day_amplitude", av.day_amplitude);
+    kvz("outage_groups", av.outage_groups);
+    kvd("outage_rate", av.outage_rate);
+    kvd("outage_mean", av.outage_mean);
+    kv("seed", std::to_string(av.seed));
+  }
 
   if (o.faults.enabled) {
     const sim::FaultScheduleOptions& f = o.faults;

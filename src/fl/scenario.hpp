@@ -33,6 +33,10 @@
 //              (fedca_*, fedprox_mu, fedada_*, compress*)
 //   [cluster]  link_latency, speed_sigma, min_speed, max_speed,
 //              bandwidth_mbps, dynamicity, slowdown_lo, slowdown_hi
+//   [population] registry (compact client records + pooled device
+//              replicas), availability, mean_on, mean_off, day_period,
+//              day_amplitude, outage_groups, outage_rate, outage_mean,
+//              seed
 //   [faults]   enabled, horizon, crash_fraction, dropouts_per_client,
 //              dropout_mean, slowdowns_per_client, slowdown_mean,
 //              slowdown_factor_lo, slowdown_factor_hi,

@@ -67,6 +67,11 @@ struct RoundRecord {
   double start_time = 0.0;
   double end_time = 0.0;           // server finished collecting the quorum
   double deadline = kNoDeadline;   // T_R announced at round start
+  // Availability accounting (zero unless the cluster's availability layer
+  // is on): total population size and how many sampled clients were
+  // offline at round start and therefore skipped.
+  std::size_t population = 0;
+  std::size_t offline = 0;
   std::vector<ClientRoundResult> clients;   // every participant
   std::vector<std::size_t> collected;       // indices into `clients` aggregated
   // Normalized aggregation weight per collected entry (sums to 1 whenever

@@ -117,6 +117,10 @@ std::string to_json_line(const RoundReport& r) {
   out += ",\"end\":" + json_num(r.end_time);
   out += ",\"deadline\":" + json_num(r.deadline);
   out += ",\"participants\":" + std::to_string(r.clients.size());
+  if (r.population > 0) {
+    out += ",\"population\":" + std::to_string(r.population);
+    out += ",\"offline\":" + std::to_string(r.offline);
+  }
   out += ",\"collected\":" + std::to_string(r.collected);
   out += ",\"shed\":" + std::to_string(r.shed);
   out += ",\"timed_out\":" + std::to_string(r.timed_out);

@@ -74,6 +74,12 @@ struct RoundReport {
   double start_time = 0.0;
   double end_time = 0.0;
   double deadline = kNoTime;  // T_R (round-relative), kNoTime = unbounded
+  // Availability dynamics (population > 0 only when the layer is on):
+  // total population size and sampled clients skipped as offline. Emitted
+  // in JSON only when population > 0, so availability-free runs keep their
+  // historical byte-exact lines.
+  std::size_t population = 0;
+  std::size_t offline = 0;
   std::vector<ClientRoundReport> clients;
   // Derived by finalize_round_report():
   std::size_t collected = 0;

@@ -1,0 +1,116 @@
+#include "sim/availability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fedca::sim {
+
+namespace {
+
+constexpr std::uint64_t kClientStreamBase = 0xAA000000ULL;
+constexpr std::uint64_t kGroupStreamBase = 0x07A6E000ULL;
+// Floor on drawn durations so a degenerate draw cannot stall the renewal
+// loop.
+constexpr double kMinSegment = 1e-6;
+
+double exponential(fedca::util::Rng& rng, double mean) {
+  // Inverse CDF on u in [0, 1): 1 - u is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - rng.uniform());
+}
+
+}  // namespace
+
+AvailabilityModel::AvailabilityModel(const AvailabilityOptions& options)
+    : options_(options), base_(options.seed) {
+  if (options_.mean_on <= 0.0 || options_.mean_off <= 0.0) {
+    throw std::invalid_argument("AvailabilityModel: mean_on/mean_off must be > 0");
+  }
+  if (options_.day_amplitude < 0.0 || options_.day_amplitude > 0.9) {
+    throw std::invalid_argument("AvailabilityModel: day_amplitude must be in [0, 0.9]");
+  }
+  outages_enabled_ = options_.outage_groups > 0 && options_.outage_rate > 0.0 &&
+                     options_.outage_mean > 0.0;
+  if (outages_enabled_) {
+    groups_.reserve(options_.outage_groups);
+    for (std::size_t g = 0; g < options_.outage_groups; ++g) {
+      Group group;
+      group.rng = base_.fork(kGroupStreamBase + g);
+      groups_.push_back(std::move(group));
+    }
+  }
+}
+
+double AvailabilityModel::diurnal(double t) const {
+  if (options_.day_period <= 0.0 || options_.day_amplitude <= 0.0) return 1.0;
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return 1.0 + options_.day_amplitude * std::sin(kTwoPi * t / options_.day_period);
+}
+
+void AvailabilityModel::advance(AvailabilityCursor& cursor, double t) const {
+  util::Rng rng(0);
+  rng.restore(cursor.rng);
+  while (cursor.until <= t) {
+    // The segment starting at cursor.until flips state; its duration mean
+    // is modulated by the diurnal factor at the segment start (long online
+    // stretches by day, long offline stretches by night).
+    cursor.online = !cursor.online;
+    const double d = diurnal(cursor.until);
+    const double mean = cursor.online ? options_.mean_on * d : options_.mean_off / d;
+    cursor.until += std::max(exponential(rng, mean), kMinSegment);
+  }
+  cursor.rng = rng.save();
+}
+
+bool AvailabilityModel::online_at(std::size_t client, AvailabilityCursor& cursor,
+                                  double t) {
+  if (!cursor.initialized) {
+    util::Rng rng = base_.fork(kClientStreamBase + client);
+    // Stationary initial state: exponential durations are memoryless, so
+    // drawing the initial state at the stationary probability makes the
+    // marginal P(online at t) exactly mean_on / (mean_on + mean_off) for
+    // every t (modulo diurnal modulation).
+    const double p_on = options_.mean_on / (options_.mean_on + options_.mean_off);
+    const bool start_online = rng.uniform() < p_on;
+    // advance() flips before drawing each segment, so seed with the
+    // opposite state and let the first iteration establish segment 0.
+    cursor.online = !start_online;
+    cursor.until = 0.0;
+    cursor.rng = rng.save();
+    cursor.initialized = true;
+  }
+  advance(cursor, t);
+  if (!cursor.online) return false;
+  return !group_outage_at(client, t);
+}
+
+void AvailabilityModel::extend_group(Group& group, double t) {
+  while (group.horizon <= t) {
+    const double gap = exponential(group.rng, 1.0 / options_.outage_rate);
+    const double start = group.horizon + std::max(gap, kMinSegment);
+    const double duration = std::max(exponential(group.rng, options_.outage_mean),
+                                     kMinSegment);
+    group.windows.emplace_back(start, start + duration);
+    group.horizon = start + duration;
+  }
+}
+
+bool AvailabilityModel::group_outage_at(std::size_t client, double t) {
+  if (!outages_enabled_) return false;
+  Group& group = groups_[client % groups_.size()];
+  extend_group(group, t);
+  while (group.next < group.windows.size() && group.windows[group.next].second <= t) {
+    ++group.next;
+  }
+  return group.next < group.windows.size() && group.windows[group.next].first <= t;
+}
+
+std::size_t AvailabilityModel::live_bytes() const {
+  std::size_t bytes = sizeof(AvailabilityModel);
+  for (const Group& group : groups_) {
+    bytes += sizeof(Group) + group.windows.capacity() * sizeof(std::pair<double, double>);
+  }
+  return bytes;
+}
+
+}  // namespace fedca::sim

@@ -1,8 +1,10 @@
 #include "sim/cluster.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "sim/client_registry.hpp"
 
 namespace fedca::sim {
 
@@ -34,15 +36,124 @@ void ClientDevice::set_faults(std::shared_ptr<const FaultInjector> faults) {
   }
 }
 
-Cluster::Cluster(const ClusterOptions& options, util::Rng& rng) : options_(options) {
-  const std::vector<trace::DeviceProfile> profiles =
-      trace::synthesize_profiles(options.num_clients, options.heterogeneity, rng);
-  clients_.reserve(options.num_clients);
-  for (std::size_t i = 0; i < options.num_clients; ++i) {
-    clients_.push_back(std::make_unique<ClientDevice>(
-        i, profiles[i], options.dynamicity, options.link_latency_seconds,
-        rng.fork(0x5EED0000 + i)));
+void ClientDevice::rebind(std::size_t id, const trace::DeviceProfile& profile,
+                          util::Rng rng) {
+  id_ = id;
+  profile_ = profile;
+  timeline_.rebind(profile.base_speed, rng);
+  uplink_.rebind(profile.bandwidth_mbps);
+  downlink_.rebind(profile.bandwidth_mbps);
+  faults_.reset();
+}
+
+std::size_t ClientDevice::approx_bytes() const {
+  std::size_t bytes = sizeof(ClientDevice);
+  // The timeline's cached segments are the growing part of a live device:
+  // they accumulate for as long as the simulation runs.
+  bytes += timeline_.segment_capacity() * 2 * sizeof(double);
+  return bytes;
+}
+
+DeviceLease::DeviceLease(Cluster* cluster, std::size_t id, ClientDevice* borrowed)
+    : cluster_(cluster), id_(id), device_(borrowed) {}
+
+DeviceLease::DeviceLease(Cluster* cluster, std::size_t id,
+                         std::unique_ptr<ClientDevice> owned)
+    : cluster_(cluster), id_(id), device_(owned.get()), owned_(std::move(owned)) {}
+
+DeviceLease::DeviceLease(DeviceLease&& other) noexcept
+    : cluster_(other.cluster_),
+      id_(other.id_),
+      device_(other.device_),
+      owned_(std::move(other.owned_)) {
+  other.cluster_ = nullptr;
+  other.device_ = nullptr;
+}
+
+DeviceLease& DeviceLease::operator=(DeviceLease&& other) noexcept {
+  if (this != &other) {
+    release();
+    cluster_ = other.cluster_;
+    id_ = other.id_;
+    device_ = other.device_;
+    owned_ = std::move(other.owned_);
+    other.cluster_ = nullptr;
+    other.device_ = nullptr;
   }
+  return *this;
+}
+
+DeviceLease::~DeviceLease() { release(); }
+
+void DeviceLease::release() {
+  if (owned_ != nullptr && cluster_ != nullptr) {
+    cluster_->return_replica(id_, std::move(owned_));
+  }
+  cluster_ = nullptr;
+  device_ = nullptr;
+}
+
+Cluster::Cluster(const ClusterOptions& options, util::Rng& rng) : options_(options) {
+  if (options.compact) {
+    registry_ = std::make_unique<ClientRegistry>(options, rng);
+  } else {
+    const std::vector<trace::DeviceProfile> profiles =
+        trace::synthesize_profiles(options.num_clients, options.heterogeneity, rng);
+    clients_.reserve(options.num_clients);
+    for (std::size_t i = 0; i < options.num_clients; ++i) {
+      clients_.push_back(std::make_unique<ClientDevice>(
+          i, profiles[i], options.dynamicity, options.link_latency_seconds,
+          rng.fork(0x5EED0000 + i)));
+    }
+  }
+  if (options.availability.enabled) {
+    availability_ = std::make_unique<AvailabilityModel>(options.availability);
+    if (!options.compact) {
+      availability_cursors_.resize(options.num_clients);
+    }
+  }
+}
+
+Cluster::~Cluster() = default;
+
+std::size_t Cluster::size() const {
+  return registry_ != nullptr ? registry_->size() : clients_.size();
+}
+
+ClientDevice& Cluster::client(std::size_t i) {
+  if (registry_ != nullptr) {
+    throw std::logic_error("Cluster::client: compact cluster has no live devices; "
+                           "use lease()");
+  }
+  return *clients_.at(i);
+}
+
+DeviceLease Cluster::lease(std::size_t i) {
+  if (registry_ == nullptr) {
+    return DeviceLease(this, i, clients_.at(i).get());
+  }
+  std::unique_ptr<ClientDevice> replica;
+  {
+    util::MutexLock lock(pool_mutex_);
+    if (!device_pool_.empty()) {
+      replica = std::move(device_pool_.back());
+      device_pool_.pop_back();
+    }
+  }
+  // Materialization (timeline regeneration) happens outside the pool lock.
+  if (replica == nullptr) {
+    replica = registry_->create(i);
+  } else {
+    registry_->materialize(i, *replica);
+  }
+  if (faults_ != nullptr) replica->set_faults(faults_);
+  return DeviceLease(this, i, std::move(replica));
+}
+
+void Cluster::return_replica(std::size_t id, std::unique_ptr<ClientDevice> replica) {
+  registry_->commit(id, *replica);
+  util::MutexLock lock(pool_mutex_);
+  device_pool_.push_back(std::move(replica));
 }
 
 void Cluster::install_faults(std::shared_ptr<const FaultInjector> faults) {
@@ -52,6 +163,33 @@ void Cluster::install_faults(std::shared_ptr<const FaultInjector> faults) {
     FEDCA_MCOUNT("faults.scheduled_events",
                  static_cast<double>(faults_->schedule().events().size()));
   }
+}
+
+bool Cluster::online_at(std::size_t i, double t) {
+  if (availability_ == nullptr) return true;
+  AvailabilityCursor& cursor = registry_ != nullptr
+                                   ? registry_->record(i).availability
+                                   : availability_cursors_.at(i);
+  return availability_->online_at(i, cursor, t);
+}
+
+std::size_t Cluster::live_client_bytes() {
+  std::size_t bytes = 0;
+  for (const auto& client : clients_) {
+    bytes += sizeof(client) + client->approx_bytes();
+  }
+  if (registry_ != nullptr) bytes += registry_->live_bytes();
+  if (availability_ != nullptr) {
+    bytes += availability_->live_bytes() +
+             availability_cursors_.capacity() * sizeof(AvailabilityCursor);
+  }
+  {
+    util::MutexLock lock(pool_mutex_);
+    for (const auto& replica : device_pool_) {
+      bytes += sizeof(replica) + replica->approx_bytes();
+    }
+  }
+  return bytes;
 }
 
 }  // namespace fedca::sim

@@ -5,17 +5,38 @@
 // timeline (continuous across rounds, like a real device), and a dedicated
 // rate-limited uplink/downlink. Virtual time is global and monotone for
 // the lifetime of the cluster.
+//
+// Two population representations share one interface:
+//
+//   * legacy (default): one live ClientDevice per client, accessible via
+//     client(i) — exact per-object state, O(clients) memory;
+//   * compact (`ClusterOptions::compact`): per-client state lives in a
+//     ClientRegistry of POD records and devices exist only while leased —
+//     lease(i) materializes a pooled replica from client i's record
+//     (re-deriving the speed timeline from its deterministic RNG fork and
+//     restoring persisted link occupancy) and returns it to the pool when
+//     the lease drops, committing mutable state back to the record. Leased
+//     behavior is bit-identical to the legacy device; memory is
+//     O(sampled cohort) live devices + O(clients) compact records.
+//
+// Engines access devices exclusively through lease(), which degrades to a
+// zero-cost borrow of the live object in legacy mode.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "sim/availability.hpp"
 #include "sim/faults.hpp"
 #include "sim/network.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace fedca::sim {
+
+class ClientRegistry;
 
 struct ClusterOptions {
   std::size_t num_clients = 128;
@@ -23,6 +44,14 @@ struct ClusterOptions {
   trace::DynamicityOptions dynamicity;
   // Fixed per-transfer latency on client links.
   double link_latency_seconds = 0.005;
+  // Compact population: back the cluster with a ClientRegistry of POD
+  // records and materialize devices per lease instead of holding one live
+  // ClientDevice per client. Bit-identical to the legacy representation.
+  bool compact = false;
+  // Population availability dynamics (on/off churn, day/night modulation,
+  // correlated outages). Disabled by default: engines then never query it
+  // and behavior is bit-identical to a build without the layer.
+  AvailabilityOptions availability;
 };
 
 // One simulated edge device.
@@ -47,6 +76,15 @@ class ClientDevice {
   // the client's link-degradation windows on both link directions.
   void set_faults(std::shared_ptr<const FaultInjector> faults);
 
+  // Re-targets this device at another client (pooled-replica path):
+  // resets the profile, regenerates the speed timeline from `rng`, clears
+  // both links (degradation windows and busy state) and detaches faults.
+  // The result is bit-identical to a freshly constructed device.
+  void rebind(std::size_t id, const trace::DeviceProfile& profile, util::Rng rng);
+
+  // Approximate live footprint in bytes (scale bench accounting).
+  std::size_t approx_bytes() const;
+
  private:
   std::size_t id_;
   trace::DeviceProfile profile_;
@@ -56,12 +94,51 @@ class ClientDevice {
   std::shared_ptr<const FaultInjector> faults_;
 };
 
+class Cluster;
+
+// RAII device checkout. In legacy mode this borrows the live ClientDevice
+// (destructor is a no-op); in compact mode it owns a pooled replica that is
+// committed back to the registry record and returned to the pool on
+// destruction. Leases for distinct clients may be held concurrently (one
+// lease per client at a time — the engines' slot-exclusive training already
+// guarantees this).
+class DeviceLease {
+ public:
+  DeviceLease(DeviceLease&& other) noexcept;
+  DeviceLease& operator=(DeviceLease&& other) noexcept;
+  DeviceLease(const DeviceLease&) = delete;
+  DeviceLease& operator=(const DeviceLease&) = delete;
+  ~DeviceLease();
+
+  ClientDevice& operator*() const { return *device_; }
+  ClientDevice* operator->() const { return device_; }
+  ClientDevice* get() const { return device_; }
+
+ private:
+  friend class Cluster;
+  DeviceLease(Cluster* cluster, std::size_t id, ClientDevice* borrowed);
+  DeviceLease(Cluster* cluster, std::size_t id, std::unique_ptr<ClientDevice> owned);
+  void release();
+
+  Cluster* cluster_ = nullptr;
+  std::size_t id_ = 0;
+  ClientDevice* device_ = nullptr;
+  std::unique_ptr<ClientDevice> owned_;
+};
+
 class Cluster {
  public:
   Cluster(const ClusterOptions& options, util::Rng& rng);
+  ~Cluster();
 
-  std::size_t size() const { return clients_.size(); }
-  ClientDevice& client(std::size_t i) { return *clients_.at(i); }
+  std::size_t size() const;
+  bool compact() const { return registry_ != nullptr; }
+  // Legacy-mode direct access (tests/examples). Throws in compact mode —
+  // use lease() there.
+  ClientDevice& client(std::size_t i);
+  // Checks out client `i`'s device (see DeviceLease). Thread-safe for
+  // distinct clients.
+  DeviceLease lease(std::size_t i);
   const ClusterOptions& options() const { return options_; }
 
   // Installs a fault injector across all devices (slowdown routing + link
@@ -69,10 +146,32 @@ class Cluster {
   void install_faults(std::shared_ptr<const FaultInjector> faults);
   const std::shared_ptr<const FaultInjector>& faults() const { return faults_; }
 
+  // Availability dynamics. online_at advances the client's renewal cursor
+  // (monotone t, main thread only); always true when the layer is off.
+  bool availability_enabled() const { return availability_ != nullptr; }
+  bool online_at(std::size_t i, double t);
+
+  // Bytes of live per-client state (devices + registry records + renewal
+  // state) — the quantity the scale bench compares legacy vs compact.
+  std::size_t live_client_bytes();
+
+  ClientRegistry* registry() { return registry_.get(); }
+
  private:
+  friend class DeviceLease;
+  void return_replica(std::size_t id, std::unique_ptr<ClientDevice> replica);
+
   ClusterOptions options_;
-  std::vector<std::unique_ptr<ClientDevice>> clients_;
+  std::vector<std::unique_ptr<ClientDevice>> clients_;  // legacy mode only
+  std::unique_ptr<ClientRegistry> registry_;            // compact mode only
+  std::unique_ptr<AvailabilityModel> availability_;
+  // Legacy-mode availability cursors (compact mode keeps them in the
+  // registry records).
+  std::vector<AvailabilityCursor> availability_cursors_;
   std::shared_ptr<const FaultInjector> faults_;
+  // Pooled device replicas for compact-mode leases.
+  util::Mutex pool_mutex_;
+  std::vector<std::unique_ptr<ClientDevice>> device_pool_ FEDCA_GUARDED_BY(pool_mutex_);
 };
 
 }  // namespace fedca::sim

@@ -1,29 +1,88 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace fedca::sim {
 
-void EventQueue::schedule(double time, std::function<void()> action) {
+namespace {
+constexpr std::size_t kArity = 4;
+}  // namespace
+
+void EventQueue::check_not_past(double time) const {
   if (time < now_) {
     throw std::invalid_argument("EventQueue::schedule: time " + std::to_string(time) +
                                 " is before now " + std::to_string(now_));
   }
-  heap_.push(Event{time, next_seq_++, std::move(action)});
 }
 
-void EventQueue::schedule_in(double delay, std::function<void()> action) {
+void EventQueue::sift_up(std::size_t index) {
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / kArity;
+    if (!earlier(heap_[index], heap_[parent])) break;
+    std::swap(heap_[index], heap_[parent]);
+    index = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t index) {
+  const std::size_t size = heap_.size();
+  for (;;) {
+    const std::size_t first_child = kArity * index + 1;
+    if (first_child >= size) break;
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + kArity, size);
+    for (std::size_t child = first_child + 1; child < last_child; ++child) {
+      if (earlier(heap_[child], heap_[best])) best = child;
+    }
+    if (!earlier(heap_[best], heap_[index])) break;
+    std::swap(heap_[index], heap_[best]);
+    index = best;
+  }
+}
+
+void EventQueue::schedule(double time, EventFn action) {
+  check_not_past(time);
+  heap_.push_back(Event{time, next_seq_++, std::move(action)});
+  sift_up(heap_.size() - 1);
+}
+
+void EventQueue::schedule_in(double delay, EventFn action) {
   if (delay < 0.0) throw std::invalid_argument("EventQueue::schedule_in: negative delay");
   schedule(now_ + delay, std::move(action));
 }
 
+void EventQueue::schedule_at_bulk(std::vector<TimedEvent> batch) {
+  for (const TimedEvent& entry : batch) check_not_past(entry.time);
+  const std::size_t existing = heap_.size();
+  heap_.reserve(existing + batch.size());
+  for (TimedEvent& entry : batch) {
+    heap_.push_back(Event{entry.time, next_seq_++, std::move(entry.action)});
+  }
+  if (batch.size() >= existing / 2) {
+    // The batch dominates: one Floyd rebuild of the whole heap is O(n) and
+    // beats per-event sift-ups. (time, seq) is a strict total order, so the
+    // resulting heap pops in exactly the same sequence either way.
+    if (heap_.size() > 1) {
+      for (std::size_t i = (heap_.size() - 2) / kArity + 1; i-- > 0;) sift_down(i);
+    }
+  } else {
+    for (std::size_t i = existing; i < heap_.size(); ++i) sift_up(i);
+  }
+}
+
 bool EventQueue::run_next() {
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; move via const_cast is safe because we
-  // pop immediately after.
-  Event event = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
+  Event event = std::move(heap_.front());
+  if (heap_.size() > 1) {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
   now_ = event.time;
   event.action();
   return true;
@@ -35,7 +94,7 @@ void EventQueue::run_until_empty() {
 }
 
 void EventQueue::run_until(double deadline) {
-  while (!heap_.empty() && heap_.top().time <= deadline) {
+  while (!heap_.empty() && heap_.front().time <= deadline) {
     run_next();
   }
   if (now_ < deadline) now_ = deadline;

@@ -18,6 +18,13 @@ double Link::transfer_seconds(double bytes) const {
   return latency_seconds_ + bytes * 8.0 / (bandwidth_mbps_ * 1e6);
 }
 
+void Link::rebind(double bandwidth_mbps) {
+  if (bandwidth_mbps <= 0.0) throw std::invalid_argument("Link: bandwidth must be > 0");
+  bandwidth_mbps_ = bandwidth_mbps;
+  busy_until_ = 0.0;
+  windows_.clear();
+}
+
 void Link::add_degradation(double start, double end, double factor) {
   if (!(end > start)) return;
   if (factor < 0.0 || factor >= 1.0) {

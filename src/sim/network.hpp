@@ -45,6 +45,14 @@ class Link {
   void add_degradation(double start, double end, double factor);
   bool degraded() const { return !windows_.empty(); }
 
+  // Re-targets this link at another client (pooled-replica path): resets
+  // the bandwidth, drops all degradation windows, and clears the busy
+  // state. Latency is a cluster-wide constant and stays as constructed.
+  void rebind(double bandwidth_mbps);
+  // Restores persisted serialization state (a leased replica inherits the
+  // client's uplink/downlink occupancy from its registry record).
+  void set_busy_until(double t) { busy_until_ = t; }
+
   // Schedules a transfer that becomes ready at `earliest_start`; it begins
   // when both the payload is ready and the link is free, and occupies the
   // link until it ends. Returns the realized interval. A transfer caught

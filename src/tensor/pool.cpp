@@ -22,7 +22,8 @@ constexpr std::size_t kMinBucketLog = 6;
 constexpr std::size_t kMaxBucketLog = 24;
 constexpr std::size_t kNumBuckets = kMaxBucketLog - kMinBucketLog + 1;
 constexpr std::size_t kThreadCacheSlots = 4;   // per bucket, per thread
-constexpr std::size_t kGlobalCacheSlots = 64;  // per bucket, global tier
+constexpr std::size_t kGlobalCacheSlots = 64;  // per bucket, default cap
+constexpr std::size_t kMaxGlobalCacheSlots = 4096;
 
 std::size_t bucket_floats(std::size_t bucket) {
   return std::size_t{1} << (kMinBucketLog + bucket);
@@ -51,6 +52,15 @@ std::atomic<bool> g_poison{
     false
 #endif
 };
+
+// Per-bucket global-tier slot caps, tunable via set_capacity_hint. Plain
+// relaxed atomics: a stale read only momentarily over/under-fills a bucket.
+std::atomic<std::size_t> g_global_slot_caps[kNumBuckets] = {};  // 0 => default
+
+std::size_t global_slot_cap(std::size_t bucket) {
+  const std::size_t cap = g_global_slot_caps[bucket].load(std::memory_order_relaxed);
+  return cap == 0 ? kGlobalCacheSlots : cap;
+}
 
 std::atomic<std::uint64_t> g_hits{0};
 std::atomic<std::uint64_t> g_misses{0};
@@ -89,7 +99,7 @@ GlobalTier& global_tier() {
 bool global_put(std::size_t bucket, std::vector<float>&& buf) {
   GlobalTier& tier = global_tier();
   util::MutexLock lock(tier.mu);
-  if (tier.buckets[bucket].size() >= kGlobalCacheSlots) return false;
+  if (tier.buckets[bucket].size() >= global_slot_cap(bucket)) return false;
   tier.buckets[bucket].push_back(std::move(buf));
   return true;
 }
@@ -183,6 +193,28 @@ void BufferPool::configure_from_option(int option) {
   } else {
     set_enabled(enabled_from_env());
   }
+}
+
+void BufferPool::set_capacity_hint(std::size_t footprint_bytes, std::size_t workers) {
+  if (footprint_bytes == 0 || workers == 0) return;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    const std::size_t bucket_bytes = bucket_floats(b) * sizeof(float);
+    const std::size_t derived = footprint_bytes / bucket_bytes * (workers + 1);
+    const std::size_t cap =
+        std::clamp(derived, kGlobalCacheSlots, kMaxGlobalCacheSlots);
+    // Growth-only: concurrent engines keep the largest derived cap.
+    std::size_t prev = g_global_slot_caps[b].load(std::memory_order_relaxed);
+    while (prev < cap &&
+           !g_global_slot_caps[b].compare_exchange_weak(
+               prev, cap, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+std::size_t BufferPool::bucket_slot_cap(std::size_t floats) {
+  const std::size_t bucket = bucket_for_request(floats);
+  if (bucket >= kNumBuckets) return 0;
+  return global_slot_cap(bucket);
 }
 
 std::vector<float> BufferPool::acquire(std::size_t n) {

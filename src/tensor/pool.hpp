@@ -61,6 +61,17 @@ class BufferPool {
   // (unset/0/false/off => off; anything else => on).
   static void configure_from_option(int option);
 
+  // Size the global tier to the workload: each bucket's slot cap becomes
+  // clamp(footprint_bytes * (workers + 1) / bucket_bytes, 64, 4096), so
+  // small-tensor buckets can hold one model's worth of layer buffers per
+  // worker instead of a fixed 64 slots. Growth-only (concurrent engines
+  // keep the largest hint) and monotone in the inputs; the 64-slot floor
+  // preserves the historical behavior for huge buckets. Zero inputs are
+  // no-ops.
+  static void set_capacity_hint(std::size_t footprint_bytes, std::size_t workers);
+  // Current slot cap of the bucket covering `floats` floats (test hook).
+  static std::size_t bucket_slot_cap(std::size_t floats);
+
   // A buffer with size() == n and unspecified contents (recycled garbage or
   // poison). Callers must write every element before reading.
   std::vector<float> acquire(std::size_t n);

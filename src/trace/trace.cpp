@@ -45,6 +45,27 @@ SpeedTimeline::SpeedTimeline(double base_speed, const DynamicityOptions& options
   extend_until(1.0);
 }
 
+void SpeedTimeline::rebind(double base_speed, util::Rng rng) {
+  if (base_speed <= 0.0) {
+    throw std::invalid_argument("SpeedTimeline: base_speed must be > 0");
+  }
+  base_speed_ = base_speed;
+  rng_ = rng;
+  boundaries_.clear();
+  speeds_.clear();
+  horizon_ = 0.0;
+  // Mirror the constructor draw-for-draw so the regenerated segment
+  // sequence matches a persistent timeline built from the same fork.
+  next_is_slow_ = rng_.uniform() < 0.5;
+  if (!options_.enabled) {
+    boundaries_.push_back(0.0);
+    speeds_.push_back(base_speed_);
+    horizon_ = std::numeric_limits<double>::infinity();
+    return;
+  }
+  extend_until(1.0);
+}
+
 void SpeedTimeline::extend_until(double t) {
   if (!options_.enabled) return;
   while (horizon_ <= t) {

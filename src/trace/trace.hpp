@@ -65,6 +65,12 @@ class SpeedTimeline {
  public:
   SpeedTimeline(double base_speed, const DynamicityOptions& options, util::Rng rng);
 
+  // Re-targets this timeline at another client's stream, reusing the
+  // segment vectors' capacity (pooled-replica path): the result is
+  // bit-identical to a freshly constructed SpeedTimeline(base_speed,
+  // original options, rng).
+  void rebind(double base_speed, util::Rng rng);
+
   double base_speed() const { return base_speed_; }
 
   // Effective speed at virtual time t (>= 0).
@@ -77,6 +83,10 @@ class SpeedTimeline {
 
   // Average effective speed over [t0, t1] (for diagnostics/tests).
   double average_speed(double t0, double t1);
+
+  // Cached segment capacity (live-memory accounting: segments accumulate
+  // for as long as a persistent timeline keeps being queried).
+  std::size_t segment_capacity() const { return boundaries_.capacity(); }
 
  private:
   void extend_until(double t);

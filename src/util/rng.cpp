@@ -50,6 +50,20 @@ Rng Rng::fork(std::uint64_t stream_id) const {
   return Rng(splitmix64(mix));
 }
 
+RngState Rng::save() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.s[i] = state_[i];
+  state.cached_normal = cached_normal_;
+  state.has_cached_normal = has_cached_normal_;
+  return state;
+}
+
+void Rng::restore(const RngState& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 double Rng::uniform() {
   // 53 high-quality bits -> double in [0, 1).
   return static_cast<double>((*this)() >> 11) * 0x1.0p-53;

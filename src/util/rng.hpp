@@ -17,6 +17,16 @@
 
 namespace fedca::util {
 
+// Exact snapshot of an Rng — a POD suitable for compact per-client records
+// (sim::ClientRegistry): save() + restore() round-trips the generator
+// bit-for-bit, including the Box-Muller cached normal, so a resumed stream
+// continues exactly where the snapshot was taken.
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+};
+
 // Deterministic random generator. Satisfies UniformRandomBitGenerator.
 class Rng {
  public:
@@ -34,6 +44,10 @@ class Rng {
   // parent is always the same child. Used to give every client / module its
   // own decorrelated stream.
   Rng fork(std::uint64_t stream_id) const;
+
+  // Exact state snapshot / restore (see RngState).
+  RngState save() const;
+  void restore(const RngState& state);
 
   // Uniform double in [0, 1).
   double uniform();

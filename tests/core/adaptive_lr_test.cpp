@@ -4,21 +4,18 @@
 #include "core/factory.hpp"
 #include "core/fedca_scheme.hpp"
 #include "fl/experiment.hpp"
+#include "fl/scenario.hpp"
 
 namespace fedca {
 namespace {
 
+// Base geometry lives in scenarios/adaptive_smoke.scn (golden-pinned by
+// tools_golden_scenario_adaptive_smoke). Scenario tier only, so the tests
+// stay hermetic from FEDCA_* env.
 fl::ExperimentOptions tiny() {
-  fl::ExperimentOptions options;
-  options.model = nn::ModelKind::kCnn;
-  options.num_clients = 5;
-  options.local_iterations = 10;
-  options.batch_size = 8;
-  options.train_samples = 250;
-  options.test_samples = 64;
-  options.max_rounds = 8;
-  options.seed = 41;
-  return options;
+  static const fl::Scenario scenario = fl::load_scenario_file(
+      std::string(FEDCA_SOURCE_DIR) + "/scenarios/adaptive_smoke.scn");
+  return scenario.options;
 }
 
 TEST(AdaptiveLr, FactoryBuildsVariant) {

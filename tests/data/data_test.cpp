@@ -267,5 +267,42 @@ TEST(BatchLoader, Validation) {
   EXPECT_THROW(data::BatchLoader(&d, 0, util::Rng(1)), std::invalid_argument);
 }
 
+TEST(BatchLoader, CursorRestoreContinuesExactSequence) {
+  // The registry keeps a 16-byte Cursor per client instead of a live
+  // loader; a fresh loader restored to the cursor must continue the exact
+  // batch stream, including across epoch boundaries.
+  const data::Dataset d = tiny_dataset();
+  data::BatchLoader original(&d, 2, util::Rng(77));
+  for (int i = 0; i < 7; ++i) original.next();  // mid second epoch (3/epoch)
+  const data::BatchLoader::Cursor cursor = original.cursor();
+  EXPECT_GE(cursor.epochs, 2u);
+
+  std::vector<data::Batch> expected;
+  for (int i = 0; i < 10; ++i) expected.push_back(original.next());
+
+  data::BatchLoader resumed(&d, 2, util::Rng(77));
+  resumed.restore(cursor);
+  for (int i = 0; i < 10; ++i) {
+    const data::Batch got = resumed.next();
+    const data::Batch& want = expected[static_cast<std::size_t>(i)];
+    ASSERT_EQ(got.labels, want.labels) << "batch " << i;
+    ASSERT_EQ(got.inputs.numel(), want.inputs.numel());
+    for (std::size_t j = 0; j < got.inputs.numel(); ++j) {
+      ASSERT_EQ(got.inputs[j], want.inputs[j]) << "batch " << i;
+    }
+  }
+}
+
+TEST(BatchLoader, ApproxBytesGrowsWhenBatchStorageMaterializes) {
+  // next_batch() storage is lazy: a constructed-but-idle loader (the state
+  // a registry cursor stands in for) must be cheaper than an active one.
+  const data::Dataset d = tiny_dataset();
+  data::BatchLoader loader(&d, 4, util::Rng(78));
+  const std::size_t idle = loader.approx_bytes();
+  EXPECT_GT(idle, 0u);
+  (void)loader.next_batch();
+  EXPECT_GT(loader.approx_bytes(), idle);
+}
+
 }  // namespace
 }  // namespace fedca

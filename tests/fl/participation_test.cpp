@@ -4,21 +4,19 @@
 #include <set>
 
 #include "fl/experiment.hpp"
+#include "fl/scenario.hpp"
 
 namespace fedca {
 namespace {
 
+// Base geometry lives in scenarios/participation_smoke.scn (golden-pinned
+// by tools_golden_scenario_participation_smoke). Scenario tier only — no
+// resolve_options() — so the tests stay hermetic from FEDCA_* env; each
+// test overrides its participation knobs programmatically.
 fl::ExperimentOptions base_options() {
-  fl::ExperimentOptions options;
-  options.model = nn::ModelKind::kCnn;
-  options.num_clients = 8;
-  options.local_iterations = 4;
-  options.batch_size = 8;
-  options.train_samples = 320;
-  options.test_samples = 64;
-  options.max_rounds = 6;
-  options.seed = 31;
-  return options;
+  static const fl::Scenario scenario = fl::load_scenario_file(
+      std::string(FEDCA_SOURCE_DIR) + "/scenarios/participation_smoke.scn");
+  return scenario.options;
 }
 
 TEST(Participation, FullParticipationByDefault) {

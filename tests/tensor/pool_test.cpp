@@ -175,6 +175,30 @@ TEST_F(PoolTest, TensorChurnReusesStorage) {
   }
 }
 
+TEST_F(PoolTest, CapacityHintSizesBucketsToTheWorkload) {
+  // The engines hint the pool with model footprint x workers so small-layer
+  // buckets can hold a cohort's worth of buffers. Slot caps are
+  // clamp(footprint * (workers + 1) / bucket_bytes, 64, 4096) and
+  // growth-only.
+  const std::size_t small_before = BufferPool::bucket_slot_cap(1024);
+  EXPECT_GE(small_before, 64u);
+
+  // Zero inputs are no-ops.
+  BufferPool::set_capacity_hint(0, 4);
+  BufferPool::set_capacity_hint(1 << 20, 0);
+  EXPECT_EQ(BufferPool::bucket_slot_cap(1024), small_before);
+
+  // 4 MB footprint, 3 workers: the 4 KB bucket (1024 floats) saturates the
+  // 4096 cap; a 16 MB bucket stays at the 64-slot floor.
+  BufferPool::set_capacity_hint(std::size_t{4} << 20, 3);
+  EXPECT_EQ(BufferPool::bucket_slot_cap(1024), 4096u);
+  EXPECT_EQ(BufferPool::bucket_slot_cap(std::size_t{1} << 22), 64u);
+
+  // Growth-only: a smaller follow-up hint must not shrink the caps.
+  BufferPool::set_capacity_hint(1 << 12, 1);
+  EXPECT_EQ(BufferPool::bucket_slot_cap(1024), 4096u);
+}
+
 TEST_F(PoolTest, TensorCopyAssignReusesCapacity) {
   Tensor src({128});
   for (std::size_t i = 0; i < src.numel(); ++i) src[i] = static_cast<float>(i);

@@ -312,6 +312,51 @@ class RawIntrinsicsRule(LintFixtureCase):
         self.assert_clean("// lint:intrinsics must waive the finding")
 
 
+class ClientContainerRule(LintFixtureCase):
+    def test_flags_vector_of_devices(self):
+        self.write("src/fl/bad.cpp",
+                   "std::vector<sim::ClientDevice> devices;\n")
+        self.assert_flags("client-container")
+
+    def test_flags_unique_ptr_vector(self):
+        self.write("src/core/bad.cpp",
+                   "std::vector<std::unique_ptr<sim::ClientDevice>> fleet_;\n")
+        self.assert_flags("client-container")
+
+    def test_cluster_and_registry_exempt(self):
+        # The legacy representation and the lease pool are the sanctioned
+        # owners of device storage.
+        self.write("src/sim/cluster.hpp",
+                   "std::vector<std::unique_ptr<ClientDevice>> clients_;\n")
+        self.write("src/sim/client_registry.cpp",
+                   "std::vector<std::unique_ptr<ClientDevice>> pool;\n")
+        self.assert_clean("src/sim/cluster.* and client_registry.* own "
+                          "device storage")
+
+    def test_lease_usage_is_clean(self):
+        self.write("src/fl/good.cpp",
+                   "sim::DeviceLease lease = cluster_->lease(client_id);\n"
+                   "sim::ClientDevice& device = *lease;\n")
+        self.assert_clean("a lease checkout must not flag")
+
+    def test_comment_mention_is_clean(self):
+        self.write("src/fl/good2.cpp",
+                   "// Legacy engines held a std::vector<ClientDevice> here.\n")
+        self.assert_clean("a comment naming the pattern must not flag")
+
+    def test_tests_not_in_scope(self):
+        # Tests may build tiny fixed populations directly.
+        self.write("tests/sim/ok_test.cpp",
+                   "std::vector<sim::ClientDevice> two_devices;\n")
+        self.assert_clean("tests/ is outside client-container's scope")
+
+    def test_waiver_honored(self):
+        self.write("src/fl/waived.cpp",
+                   "std::vector<std::unique_ptr<sim::ClientDevice>> pool_;  "
+                   "// lint:client-state bounded by worker count\n")
+        self.assert_clean("// lint:client-state must waive the finding")
+
+
 class ScenarioHardcodeRule(LintFixtureCase):
     def test_flags_default_constructed_options(self):
         self.write("tests/fl/bad_test.cpp",
@@ -365,7 +410,8 @@ class CliBehaviour(LintFixtureCase):
         self.assertEqual(proc.returncode, 0)
         for rule in ("raw-rng", "unordered-iter", "raw-tensor-alloc",
                      "fast-math", "float-accum", "wall-clock",
-                     "raw-intrinsics", "scenario-hardcode"):
+                     "raw-intrinsics", "client-container",
+                     "scenario-hardcode"):
             self.assertIn(rule, proc.stdout)
 
     def test_missing_root_is_usage_error(self):

@@ -64,6 +64,17 @@ Rules (each finding names its rule; see --list-rules):
                     all C++ files outside src/tensor/simd/.
                     Waiver: // lint:intrinsics
 
+  client-container  Live ClientDevice populations are O(clients) memory and
+                    defeat the compact-registry scale-out: container
+                    declarations holding ClientDevice (vector/deque/list/
+                    map/array, by value or unique_ptr) are banned in src/
+                    outside the sanctioned seam (src/sim/cluster.* and
+                    src/sim/client_registry.*, which own the legacy
+                    representation and the lease pool). Engines check
+                    devices out via Cluster::lease() instead.
+                    Waiver: // lint:client-state (e.g. a fixed-size replica
+                    pool bounded by the worker count, not the population).
+
   scenario-hardcode New tests must describe experiments as scenario files
                     (scenarios/*.scn + fl/scenario.hpp), not hand-built
                     ExperimentOptions literals: a default-constructed or
@@ -132,6 +143,22 @@ WALL_CLOCK = re.compile(
 RAW_INTRINSICS = re.compile(
     r'#\s*include\s*[<"](?:immintrin|x86intrin|arm_neon)\.h[>"]')
 
+# Container declarations holding ClientDevice (by value or smart pointer):
+# `std::vector<ClientDevice>`, `std::vector<std::unique_ptr<ClientDevice>>`,
+# deque/list/map/array likewise. References in comments are stripped by the
+# shared comment suppression.
+CLIENT_CONTAINER = re.compile(
+    r"\b(?:vector|deque|list|array|map)\s*<[^;{}]*\bClientDevice\b")
+
+# The sanctioned seam: the legacy cluster representation and the compact
+# registry's lease pool are the only places allowed to own device storage.
+CLIENT_CONTAINER_SEAM = (
+    "src/sim/cluster.hpp",
+    "src/sim/cluster.cpp",
+    "src/sim/client_registry.hpp",
+    "src/sim/client_registry.cpp",
+)
+
 # Default-construction or brace-init of ExperimentOptions: `Opts x;`,
 # `Opts x{...}`, `Opts x = {...}`. Copy-init from a call (`= tiny()`,
 # `= sc.options`, `= resolve_options(...)`) is the sanctioned pattern and
@@ -142,11 +169,9 @@ SCENARIO_HARDCODE = re.compile(r"\bExperimentOptions\s+\w+\s*(?:;|\{|=\s*\{)")
 # Frozen: convert a file to a loaded scenario to remove it; never add to
 # this list — new tests load scenarios/*.scn.
 SCENARIO_HARDCODE_LEGACY = {
-    "tests/core/adaptive_lr_test.cpp",
     "tests/core/edge_cases_test.cpp",
     "tests/core/fedca_test.cpp",
     "tests/fl/parallel_determinism_test.cpp",
-    "tests/fl/participation_test.cpp",
     "tests/fl/round_engine_test.cpp",
 }
 
@@ -157,6 +182,7 @@ WAIVERS = {
     "float-accum": "lint:fixed-assoc",
     "wall-clock": "lint:wallclock",
     "raw-intrinsics": "lint:intrinsics",
+    "client-container": "lint:client-state",
     "scenario-hardcode": "lint:scenario",
 }
 
@@ -299,6 +325,23 @@ def lint_raw_intrinsics(rel, lines, findings):
                 "(waive with // lint:intrinsics)"))
 
 
+def lint_client_container(rel, lines, findings):
+    if rel in CLIENT_CONTAINER_SEAM:
+        return
+    for no, line in enumerate(lines, 1):
+        if waived("client-container", line):
+            continue
+        m = CLIENT_CONTAINER.search(line)
+        if m and not is_comment_or_string_hit(line, m.start()):
+            findings.append(Finding(
+                rel, no, "client-container",
+                "container of ClientDevice outside the cluster/registry "
+                "seam — live device storage is O(clients) and defeats the "
+                "compact scale-out; check devices out via Cluster::lease() "
+                "(waive with // lint:client-state if the container is "
+                "bounded by workers, not population)"))
+
+
 def lint_scenario_hardcode(rel, lines, findings):
     if rel in SCENARIO_HARDCODE_LEGACY:
         return
@@ -355,6 +398,8 @@ def lint_tree(root):
             lint_wall_clock(posix, lines, findings)
         if not posix.startswith("src/tensor/simd/"):
             lint_raw_intrinsics(posix, lines, findings)
+        if posix.startswith("src/"):
+            lint_client_container(posix, lines, findings)
         if posix.startswith("tests/"):
             lint_scenario_hardcode(posix, lines, findings)
     return findings
@@ -372,7 +417,8 @@ def main():
     if args.list_rules:
         for rule in ("raw-rng", "unordered-iter", "raw-tensor-alloc",
                      "fast-math", "float-accum", "wall-clock",
-                     "raw-intrinsics", "scenario-hardcode"):
+                     "raw-intrinsics", "client-container",
+                     "scenario-hardcode"):
             print(rule)
         return 0
 

@@ -90,6 +90,23 @@ def check_round(i, obj):
             f"line {i}: participants {obj.get('participants')} != "
             f"len(clients) {len(clients)}"
         )
+    # Availability fields are optional (emitted only when the population
+    # layer is on). When present they must be consistent: offline sampled
+    # clients plus the surviving participants never exceed the population.
+    population = obj.get("population")
+    if population is not None:
+        offline = obj.get("offline")
+        if not is_number(population) or population < 1:
+            fail(f"line {i}: bad population {population!r}")
+        if not is_number(offline) or offline < 0:
+            fail(f"line {i}: population without a valid offline count")
+        if offline + len(clients) > population:
+            fail(
+                f"line {i}: offline {offline} + participants {len(clients)} "
+                f"exceed population {population}"
+            )
+    elif obj.get("offline") is not None:
+        fail(f"line {i}: offline without population")
     tallies = {key: 0 for key in TALLY_OF_OUTCOME.values()}
     stragglers = 0
     collected_weight = 0.0

@@ -75,6 +75,17 @@ if [ "${FEDCA_BENCH_OBS:-1}" != "0" ]; then
     2>&1 | tee /root/repo/obs_bench_output.txt || exit 1
 fi
 
+# Scale bench: refresh BENCH_scale.json via the million-client harness
+# (compact-registry sweep at 1k/10k/100k/1M with rounds/sec + peak RSS,
+# legacy-vs-registry live client-state bytes at 100k; fails if the 1M sweep
+# exceeds 2 GB RSS or the live-bytes ratio drops below 100x).
+# FEDCA_BENCH_SCALE=0 skips.
+if [ "${FEDCA_BENCH_SCALE:-1}" != "0" ]; then
+  echo "===== scale bench ====="
+  python3 tools/bench_scale.py --build build --out BENCH_scale.json \
+    2>&1 | tee /root/repo/scale_bench_output.txt || exit 1
+fi
+
 # SIMD tier sweep: the kernel property suites must pass with the dispatch
 # forced to the portable scalar tier AND left on auto (best vector tier on
 # this host) — the two runs prove the tiers are interchangeable, and the
