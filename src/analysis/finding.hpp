@@ -1,0 +1,21 @@
+// Finding record shared by every fedca_analyze pass.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fedca::analysis {
+
+struct Finding {
+  std::string rule;
+  std::string file;  // repo-root relative
+  int line = 0;
+  std::string message;
+};
+
+inline void add_finding(std::vector<Finding>& out, std::string rule,
+                        std::string file, int line, std::string message) {
+  out.push_back(Finding{std::move(rule), std::move(file), line, std::move(message)});
+}
+
+}  // namespace fedca::analysis

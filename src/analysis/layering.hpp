@@ -1,0 +1,41 @@
+// Include/layering DAG checks against a committed module spec.
+//
+// The spec (tools/analyze/layers.spec) declares each module's directory
+// prefix and the set of layers it may include. Checks:
+//   * `layering`      — a first-party include edge the spec does not allow,
+//                       or a src/ file no layer claims;
+//   * `include-cycle` — a cycle in the file-level include graph, reported
+//                       once per cycle with file:line edge attribution.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hpp"
+#include "analysis/source.hpp"
+
+namespace fedca::analysis {
+
+struct LayerSpec {
+  // Declaration order preserved: longest prefix wins when matching files.
+  std::vector<std::pair<std::string, std::string>> layers;  // name -> prefix
+  std::map<std::string, std::set<std::string>> allow;       // layer -> deps
+
+  // Parses the spec text. Malformed lines and allow-edges naming unknown
+  // layers become `layering` findings against `spec_path`. Returns false
+  // when nothing usable was parsed.
+  bool parse(const std::string& text, const std::string& spec_path,
+             std::vector<Finding>& findings);
+
+  // Layer name owning `rel_path`, or "" when unmapped.
+  std::string layer_of(const std::string& rel_path) const;
+};
+
+// Resolves each file's includes against the analyzed file set and checks
+// layer legality plus include cycles. Only files under src/ participate.
+void check_layering(const std::vector<SourceFile>& files, const LayerSpec& spec,
+                    std::vector<Finding>& findings);
+
+}  // namespace fedca::analysis

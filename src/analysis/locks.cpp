@@ -1,0 +1,578 @@
+#include "analysis/locks.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <map>
+
+namespace fedca::analysis {
+
+namespace {
+
+// Joins the tokens in [begin, end) into a whitespace-free key so
+// `shared . error_mutex` and `shared.error_mutex` compare equal.
+std::string join_tokens(const SourceFile& f, std::size_t begin, std::size_t end) {
+  std::string out;
+  for (std::size_t i = begin; i < end && i < f.tokens.size(); ++i) {
+    out += f.tokens[i].text;
+  }
+  return out;
+}
+
+bool is_control_keyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch" || s == "return" || s == "sizeof" || s == "alignof" ||
+         s == "decltype" || s == "static_assert" || s == "defined";
+}
+
+// One function definition discovered lexically: `name (params) quals {body}`.
+struct FnDef {
+  std::size_t name_idx = 0;
+  std::size_t params_open = 0;
+  std::size_t params_close = 0;
+  std::size_t body_open = 0;
+  std::size_t body_close = 0;
+  std::vector<std::string> requires_mutexes;  // FEDCA_REQUIRES(...) args
+  std::vector<std::string> callback_params;   // params with callback type
+};
+
+// Splits [begin, end) at top-level commas (paren depth 0). Angle brackets
+// are not tracked — inside a parameter list every comma at paren depth 0
+// that matters for us separates parameters, and a comma inside a template
+// argument list only mis-splits the *type* part, never the trailing name.
+std::vector<std::pair<std::size_t, std::size_t>> split_commas(
+    const SourceFile& f, std::size_t begin, std::size_t end) {
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  int depth = 0;
+  int angle = 0;
+  std::size_t start = begin;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = f.tokens[i];
+    if (t.kind != TokenKind::kPunct) continue;
+    if (t.text == "(" || t.text == "[") ++depth;
+    if (t.text == ")" || t.text == "]") --depth;
+    if (t.text == "<") ++angle;
+    if (t.text == ">") angle = std::max(0, angle - 1);
+    if (t.text == "," && depth == 0 && angle == 0) {
+      runs.emplace_back(start, i);
+      start = i + 1;
+    }
+  }
+  if (start < end) runs.emplace_back(start, end);
+  return runs;
+}
+
+bool run_mentions_callback_type(const SourceFile& f, std::size_t begin,
+                                std::size_t end, const LockSymbols& syms) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = f.tokens[i];
+    if (t.kind != TokenKind::kIdent) continue;
+    if (t.text == "function" || t.text == "packaged_task") {
+      // Require the std:: qualification so a member named `function` in
+      // some struct cannot poison the parameter.
+      if (i >= 2 && is_ident(f, i - 2, "std") && is_punct(f, i - 1, "::")) {
+        return true;
+      }
+    }
+    if (syms.callback_aliases.count(t.text) != 0) return true;
+  }
+  return false;
+}
+
+// Last identifier before a default-argument `=`; the declared name in a
+// parameter run (`const Sink& sink`, `std::function<void()> body = {}`).
+std::string run_param_name(const SourceFile& f, std::size_t begin,
+                           std::size_t end) {
+  std::string name;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = f.tokens[i];
+    if (t.kind == TokenKind::kPunct && t.text == "=") break;
+    if (t.kind == TokenKind::kIdent) name = t.text;
+  }
+  return name;
+}
+
+// Top-level argument texts of an annotation macro call whose `(` is at
+// `open` (e.g. FEDCA_REQUIRES(mu, other.mu)).
+std::vector<std::string> macro_args(const SourceFile& f, std::size_t open) {
+  std::vector<std::string> args;
+  const int close = open < f.paren_match.size() ? f.paren_match[open] : -1;
+  if (close < 0) return args;
+  for (const auto& [b, e] :
+       split_commas(f, open + 1, static_cast<std::size_t>(close))) {
+    std::string arg = join_tokens(f, b, e);
+    if (!arg.empty()) args.push_back(std::move(arg));
+  }
+  return args;
+}
+
+// Scans the whole file for function definitions. Lexical and deliberately
+// conservative: an ident followed by a balanced paren group, then
+// qualifiers / annotation macros / a ctor init list, then `{`.
+std::vector<FnDef> find_function_defs(const SourceFile& f,
+                                      const LockSymbols& syms) {
+  std::vector<FnDef> defs;
+  const std::size_t n = f.tokens.size();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const Token& t = f.tokens[i];
+    if (t.kind != TokenKind::kIdent || is_control_keyword(t.text)) continue;
+    if (!is_punct(f, i + 1, "(")) continue;
+    const int close = f.paren_match[i + 1];
+    if (close < 0) continue;
+
+    FnDef def;
+    def.name_idx = i;
+    def.params_open = i + 1;
+    def.params_close = static_cast<std::size_t>(close);
+
+    // Walk the tokens between `)` and a potential `{`, consuming known
+    // qualifiers, annotation macros (collecting FEDCA_REQUIRES), and a
+    // constructor init list. Anything unexpected disqualifies the match.
+    std::size_t j = def.params_close + 1;
+    bool ok = false;
+    bool in_init_list = false;
+    while (j < n) {
+      const Token& q = f.tokens[j];
+      if (q.kind == TokenKind::kPunct) {
+        if (q.text == "{") {
+          if (in_init_list && j > 0 &&
+              f.tokens[j - 1].kind == TokenKind::kIdent) {
+            // Brace-init of a member (`x_{2}`): skip the group.
+            const int bm = f.brace_match[j];
+            if (bm < 0) break;
+            j = static_cast<std::size_t>(bm) + 1;
+            continue;
+          }
+          ok = true;
+          break;
+        }
+        if (q.text == ":") {
+          in_init_list = true;
+          ++j;
+          continue;
+        }
+        if (q.text == "," && in_init_list) {
+          ++j;
+          continue;
+        }
+        if (q.text == "(" && in_init_list) {
+          const int pm = f.paren_match[j];
+          if (pm < 0) break;
+          j = static_cast<std::size_t>(pm) + 1;
+          continue;
+        }
+        if (q.text == "&" || q.text == "&&" || q.text == "::") {
+          ++j;  // e.g. ref-qualifier, qualified init-list member
+          continue;
+        }
+        break;  // `;` (declaration), `=`, operators — not a definition
+      }
+      // Identifier after the params: const/noexcept/override/etc, an
+      // annotation macro (with optional arg list), or an init-list member.
+      if (q.text.rfind("FEDCA_", 0) == 0) {
+        if (is_punct(f, j + 1, "(")) {
+          if (q.text == "FEDCA_REQUIRES") {
+            for (std::string& a : macro_args(f, j + 1)) {
+              def.requires_mutexes.push_back(std::move(a));
+            }
+          }
+          const int pm = f.paren_match[j + 1];
+          if (pm < 0) break;
+          j = static_cast<std::size_t>(pm) + 1;
+        } else {
+          ++j;
+        }
+        continue;
+      }
+      ++j;
+    }
+    if (!ok) continue;
+    def.body_open = j;
+    const int bm = f.brace_match[j];
+    if (bm < 0) continue;
+    def.body_close = static_cast<std::size_t>(bm);
+
+    for (const auto& [b, e] :
+         split_commas(f, def.params_open + 1, def.params_close)) {
+      if (run_mentions_callback_type(f, b, e, syms)) {
+        std::string name = run_param_name(f, b, e);
+        if (!name.empty()) def.callback_params.push_back(std::move(name));
+      }
+    }
+    defs.push_back(def);
+    i = def.params_close;  // resume after the params; bodies may nest defs
+  }
+  return defs;
+}
+
+// True when the `{` at index i opens a lambda body: `] {`, `](...) {`, or
+// `](...) qualifiers {`.
+bool is_lambda_brace(const SourceFile& f, std::size_t i) {
+  if (i == 0) return false;
+  std::size_t j = i - 1;
+  // Skip trailing qualifiers (mutable, noexcept, -> type) back to `)` or `]`.
+  while (j > 0 && f.tokens[j].kind == TokenKind::kIdent) --j;
+  if (f.tokens[j].kind == TokenKind::kPunct && f.tokens[j].text == ")") {
+    const int open = f.paren_match[j];
+    if (open <= 0) return false;
+    j = static_cast<std::size_t>(open) - 1;
+    while (j > 0 && f.tokens[j].kind == TokenKind::kIdent) --j;
+  }
+  return f.tokens[j].kind == TokenKind::kPunct && f.tokens[j].text == "]";
+}
+
+struct HeldLock {
+  std::string key;        // mutex expression text
+  int brace_depth = 0;    // released when this depth closes
+  bool manual = false;    // X.lock()/try_lock(): released by X.unlock()
+  int line = 0;
+};
+
+}  // namespace
+
+void collect_callback_aliases(const SourceFile& f, LockSymbols& syms) {
+  const std::size_t n = f.tokens.size();
+  for (std::size_t i = 0; i + 3 < n; ++i) {
+    if (!is_ident(f, i, "using") && !is_ident(f, i, "typedef")) continue;
+    // `using Name = ...;` — typedef spelling is rare here but cheap to
+    // accept via the same "does the declaration mention std::function or a
+    // function-pointer pattern" scan.
+    std::string name;
+    std::size_t end = i + 1;
+    if (is_ident(f, i, "using") && f.tokens[i + 1].kind == TokenKind::kIdent &&
+        is_punct(f, i + 2, "=")) {
+      name = f.tokens[i + 1].text;
+      end = i + 3;
+    }
+    // Find the terminating `;`.
+    std::size_t semi = end;
+    while (semi < n && !is_punct(f, semi, ";")) ++semi;
+    if (semi >= n) break;
+    bool is_callback = false;
+    for (std::size_t j = end; j < semi; ++j) {
+      if (f.tokens[j].kind == TokenKind::kIdent &&
+          (f.tokens[j].text == "function" ||
+           f.tokens[j].text == "packaged_task") &&
+          j >= 2 && is_ident(f, j - 2, "std") && is_punct(f, j - 1, "::")) {
+        is_callback = true;
+        break;
+      }
+      // Function-pointer alias: `using X = ret (*)(args);`
+      if (is_punct(f, j, "(") && is_punct(f, j + 1, "*") &&
+          is_punct(f, j + 2, ")") && is_punct(f, j + 3, "(")) {
+        is_callback = true;
+        break;
+      }
+    }
+    if (is_callback) {
+      if (name.empty() && is_ident(f, i, "typedef")) {
+        // typedef: the name is the last ident before `;`.
+        for (std::size_t j = end; j < semi; ++j) {
+          if (f.tokens[j].kind == TokenKind::kIdent) name = f.tokens[j].text;
+        }
+      }
+      if (!name.empty()) syms.callback_aliases.insert(name);
+    }
+    i = semi;
+  }
+}
+
+void collect_callback_invokers(const SourceFile& f, LockSymbols& syms) {
+  for (const FnDef& def : find_function_defs(f, syms)) {
+    if (def.callback_params.empty()) continue;
+    for (std::size_t i = def.body_open; i < def.body_close; ++i) {
+      const Token& t = f.tokens[i];
+      if (t.kind != TokenKind::kIdent) continue;
+      const bool is_param =
+          std::find(def.callback_params.begin(), def.callback_params.end(),
+                    t.text) != def.callback_params.end();
+      if (!is_param) continue;
+      const bool direct_call = is_punct(f, i + 1, "(");
+      const bool deref_call =  // `(*sink)(...)`
+          i >= 2 && is_punct(f, i - 1, "*") && is_punct(f, i - 2, "(") &&
+          is_punct(f, i + 1, ")") && is_punct(f, i + 2, "(");
+      if (direct_call || deref_call) {
+        syms.callback_invoking_fns.insert(f.tokens[def.name_idx].text);
+        break;
+      }
+    }
+  }
+}
+
+void collect_mutex_names(const SourceFile& f, LockSymbols& syms) {
+  // `Mutex name` / `util::Mutex name` declarations plus every identifier
+  // named in a FEDCA_GUARDED_BY annotation (last path component of the
+  // guard expression). Manual X.lock()/X.try_lock() tracking applies only
+  // to these, so random `.lock()` methods on non-mutex types cannot
+  // fabricate held scopes.
+  const std::size_t n = f.tokens.size();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (is_ident(f, i, "Mutex") && f.tokens[i + 1].kind == TokenKind::kIdent) {
+      syms.mutex_names.insert(f.tokens[i + 1].text);
+    }
+    if ((is_ident(f, i, "FEDCA_GUARDED_BY") ||
+         is_ident(f, i, "FEDCA_PT_GUARDED_BY")) &&
+        is_punct(f, i + 1, "(")) {
+      for (const std::string& a : macro_args(f, i + 1)) {
+        const std::size_t dot = a.find_last_of(".>");
+        syms.mutex_names.insert(dot == std::string::npos ? a : a.substr(dot + 1));
+      }
+    }
+  }
+}
+
+void analyze_lock_scopes(const SourceFile& f, const LockSymbols& syms,
+                         std::vector<LockEdge>& edges,
+                         std::vector<Finding>& findings) {
+  const std::size_t n = f.tokens.size();
+  const std::vector<FnDef> defs = find_function_defs(f, syms);
+  std::map<std::size_t, const FnDef*> def_by_body;
+  for (const FnDef& d : defs) def_by_body[d.body_open] = &d;
+  const std::set<std::string>& mutex_names = syms.mutex_names;
+
+  // File-wide callback-typed identifiers: declarations whose type mentions
+  // a callback alias or std::function/std::packaged_task. The declared
+  // name is the first identifier after the type's template closure.
+  std::set<std::string> callback_vars;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Token& t = f.tokens[i];
+    if (t.kind != TokenKind::kIdent) continue;
+    std::size_t after_type = 0;
+    if ((t.text == "function" || t.text == "packaged_task") && i >= 2 &&
+        is_ident(f, i - 2, "std") && is_punct(f, i - 1, "::") &&
+        is_punct(f, i + 1, "<")) {
+      after_type = skip_template_args(f, i + 1);
+    } else if (syms.callback_aliases.count(t.text) != 0) {
+      after_type = i + 1;
+    } else {
+      continue;
+    }
+    // Skip cv/ref decorations between the type and the declared name.
+    while (after_type < n &&
+           ((f.tokens[after_type].kind == TokenKind::kPunct &&
+             (f.tokens[after_type].text == "&" ||
+              f.tokens[after_type].text == "*" ||
+              f.tokens[after_type].text == "&&")) ||
+            is_ident(f, after_type, "const"))) {
+      ++after_type;
+    }
+    if (after_type < n && f.tokens[after_type].kind == TokenKind::kIdent &&
+        !is_punct(f, after_type + 1, "(")) {  // `Sink make()` is a fn decl
+      callback_vars.insert(f.tokens[after_type].text);
+    }
+  }
+
+  // The scope walk. Brace depth indexes lock lifetimes; lambda bodies
+  // suspend the held set (a deferred callback does not run under the locks
+  // that happened to be held where it was *written*).
+  std::vector<HeldLock> held;
+  std::vector<std::size_t> lambda_saves;   // held.size() snapshots
+  std::vector<std::size_t> suspended;      // indices parked by lambdas
+  std::vector<HeldLock> parked;
+  std::vector<char> brace_is_lambda;       // parallel to brace depth
+  int depth = 0;
+
+  auto add_acquisition = [&](const std::string& key, int line, bool manual) {
+    for (const HeldLock& h : held) {
+      edges.push_back(LockEdge{h.key, key, f.rel_path, line});
+    }
+    held.push_back(HeldLock{key, depth, manual, line});
+  };
+
+  auto flag_callback = [&](int line, const std::string& what) {
+    const HeldLock& h = held.back();
+    add_finding(findings, "lock-callback", f.rel_path, line,
+                what + " invoked while holding '" + h.key + "' (acquired line " +
+                    std::to_string(h.line) +
+                    ") — a callback that blocks, re-enters, or takes its own "
+                    "lock deadlocks or inverts; invoke it after the scope "
+                    "ends (waive with // analyze:waive(lock-callback))");
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Token& t = f.tokens[i];
+    if (t.kind == TokenKind::kPunct) {
+      if (t.text == "{") {
+        const bool lambda = is_lambda_brace(f, i);
+        brace_is_lambda.push_back(lambda ? 1 : 0);
+        ++depth;
+        if (lambda) {
+          lambda_saves.push_back(parked.size());
+          for (HeldLock& h : held) parked.push_back(std::move(h));
+          held.clear();
+        }
+        // REQUIRES-annotated function body: its mutexes are held throughout.
+        auto it = def_by_body.find(i);
+        if (it != def_by_body.end()) {
+          for (const std::string& mu : it->second->requires_mutexes) {
+            held.push_back(HeldLock{mu, depth, false, t.line});
+          }
+        }
+        continue;
+      }
+      if (t.text == "}") {
+        if (depth > 0) {
+          held.erase(std::remove_if(held.begin(), held.end(),
+                                    [&](const HeldLock& h) {
+                                      return h.brace_depth == depth;
+                                    }),
+                     held.end());
+          if (!brace_is_lambda.empty() && brace_is_lambda.back() != 0) {
+            const std::size_t mark = lambda_saves.back();
+            lambda_saves.pop_back();
+            held.clear();  // anything a lambda body acquired dies with it
+            for (std::size_t k = mark; k < parked.size(); ++k) {
+              held.push_back(std::move(parked[k]));
+            }
+            parked.resize(mark);
+          }
+          if (!brace_is_lambda.empty()) brace_is_lambda.pop_back();
+          --depth;
+        }
+        continue;
+      }
+      continue;
+    }
+    if (t.kind != TokenKind::kIdent) continue;
+
+    // RAII acquisition: `MutexLock name(expr)` (optionally util::-qualified;
+    // the lexer already dropped whitespace).
+    if (t.text == "MutexLock" && i + 2 < n &&
+        f.tokens[i + 1].kind == TokenKind::kIdent && is_punct(f, i + 2, "(")) {
+      const int close = f.paren_match[i + 2];
+      if (close > 0) {
+        const std::string key =
+            join_tokens(f, i + 3, static_cast<std::size_t>(close));
+        add_acquisition(key, t.line, /*manual=*/false);
+        i = static_cast<std::size_t>(close);
+      }
+      continue;
+    }
+    // Manual acquisition/release on a known mutex: X.lock(), X.try_lock(),
+    // X.unlock(). try_lock is treated as acquired on the fall-through path,
+    // which is exactly the path the following tokens lex as.
+    if (mutex_names.count(t.text) != 0 && is_punct(f, i + 1, ".") &&
+        i + 2 < n && f.tokens[i + 2].kind == TokenKind::kIdent &&
+        is_punct(f, i + 3, "(")) {
+      const std::string& op = f.tokens[i + 2].text;
+      if (op == "lock" || op == "try_lock") {
+        add_acquisition(t.text, t.line, /*manual=*/true);
+        i += 3;
+        continue;
+      }
+      if (op == "unlock") {
+        for (std::size_t k = held.size(); k > 0; --k) {
+          if (held[k - 1].manual && held[k - 1].key == t.text) {
+            held.erase(held.begin() + static_cast<std::ptrdiff_t>(k - 1));
+            break;
+          }
+        }
+        i += 3;
+        continue;
+      }
+    }
+    if (held.empty()) continue;
+
+    // Callback invocation under a held lock.
+    const bool direct_call = is_punct(f, i + 1, "(");
+    const bool deref_call = i >= 2 && is_punct(f, i - 1, "*") &&
+                            is_punct(f, i - 2, "(") && is_punct(f, i + 1, ")") &&
+                            is_punct(f, i + 2, "(");
+    if (!direct_call && !deref_call) continue;
+    // Skip definitions/declarations: a name directly preceded by `::` is a
+    // qualified definition header (`Recorder::drain(...)`), already handled
+    // by find_function_defs; held is empty there anyway. Skip type-ish
+    // contexts cheaply: preceded by `new`.
+    if (i >= 1 && is_ident(f, i - 1, "new")) continue;
+    if (callback_vars.count(t.text) != 0) {
+      flag_callback(t.line, "callback '" + t.text + "'");
+      continue;
+    }
+    if (direct_call && syms.callback_invoking_fns.count(t.text) != 0 &&
+        !(i >= 1 && is_punct(f, i - 1, "::"))) {
+      flag_callback(t.line, "'" + t.text +
+                                "' (whose body invokes a callback parameter)");
+    }
+  }
+}
+
+void check_lock_order(const std::vector<LockEdge>& edges,
+                      std::vector<Finding>& findings) {
+  // File-qualified keys (see header). Self-edges are reported directly as
+  // re-acquisition; everything else feeds cycle detection.
+  struct Edge {
+    std::string to;
+    std::string file;
+    int line;
+  };
+  std::map<std::string, std::vector<Edge>> graph;
+  std::map<std::string, std::pair<std::string, int>> site;  // key -> decl site
+  for (const LockEdge& e : edges) {
+    const std::string from = e.from + "@" + e.file;
+    const std::string to = e.to + "@" + e.file;
+    if (from == to) {
+      add_finding(findings, "lock-order", e.file, e.line,
+                  "mutex '" + e.from +
+                      "' acquired while already held in this scope — "
+                      "guaranteed deadlock on a non-recursive mutex");
+      continue;
+    }
+    graph[from].push_back(Edge{to, e.file, e.line});
+    site.emplace(from, std::make_pair(e.file, e.line));
+  }
+
+  std::map<std::string, int> color;
+  std::vector<std::pair<std::string, const Edge*>> stack;
+  std::set<std::string> reported;
+
+  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    color[node] = 1;
+    auto it = graph.find(node);
+    if (it != graph.end()) {
+      for (const Edge& e : it->second) {
+        if (color[e.to] == 1) {
+          std::vector<std::pair<std::string, const Edge*>> cycle;
+          cycle.emplace_back(node, &e);
+          if (e.to != node) {
+            for (auto r = stack.rbegin(); r != stack.rend(); ++r) {
+              cycle.emplace_back(*r);
+              if (r->first == e.to) break;
+            }
+          }
+          std::reverse(cycle.begin(), cycle.end());
+          std::string key;
+          {
+            std::vector<std::string> members;
+            members.reserve(cycle.size());
+            for (const auto& [mu, edge] : cycle) members.push_back(mu);
+            std::sort(members.begin(), members.end());
+            for (const std::string& m : members) key += m + "|";
+          }
+          if (reported.insert(key).second) {
+            std::string msg = "lock-order cycle: ";
+            for (const auto& [mu, edge] : cycle) {
+              msg += mu.substr(0, mu.find('@')) + " -> ";
+            }
+            msg += cycle.front().first.substr(0, cycle.front().first.find('@'));
+            msg += " (acquisition sites:";
+            for (const auto& [mu, edge] : cycle) {
+              msg += " " + edge->file + ":" + std::to_string(edge->line);
+            }
+            msg += ")";
+            add_finding(findings, "lock-order", e.file, e.line, msg);
+          }
+        } else if (color[e.to] == 0) {
+          stack.emplace_back(node, &e);
+          dfs(e.to);
+          stack.pop_back();
+        }
+      }
+    }
+    color[node] = 2;
+  };
+  for (const auto& [node, out] : graph) {
+    if (color[node] == 0) dfs(node);
+  }
+}
+
+}  // namespace fedca::analysis

@@ -1,0 +1,69 @@
+// Lock-order graph and callback-under-lock analysis.
+//
+// Built from `util::MutexLock` scopes and the FEDCA_* thread-safety
+// annotations rather than from raw std::mutex calls — every lock-holding
+// subsystem in src/ uses the annotated wrappers, so the RAII scopes plus
+// `FEDCA_REQUIRES(mu)` preconditions give an honest lexical picture of
+// which locks are held where. Checks:
+//   * `lock-order`    — a cycle in the acquired-while-holding graph
+//                       (including a self-edge, i.e. re-acquiring a held
+//                       mutex). Mutex keys are file-qualified: lexical
+//                       analysis only sees same-file nesting, and merging
+//                       identically-named members across files would
+//                       fabricate inversions.
+//   * `lock-callback` — a user-provided callback (std::function /
+//                       std::packaged_task / a function-pointer alias such
+//                       as LogSink) invoked while a MutexLock scope is
+//                       active, either directly or through a function whose
+//                       body invokes one of its callback parameters (one
+//                       level of propagation — enough to see e.g.
+//                       EventRing::drain(sink) called under a drain mutex).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hpp"
+#include "analysis/source.hpp"
+
+namespace fedca::analysis {
+
+struct LockSymbols {
+  // Type aliases that denote callbacks: `using Sink = std::function<...>`
+  // and function-pointer aliases `using LogSink = void (*)(...)`.
+  std::set<std::string> callback_aliases;
+  // Functions whose bodies invoke a callback-typed identifier; calling one
+  // of these while holding a lock is flagged.
+  std::set<std::string> callback_invoking_fns;
+  // Identifiers declared as `Mutex name` or named by FEDCA_GUARDED_BY /
+  // FEDCA_PT_GUARDED_BY. Collected globally because members are declared in
+  // headers but manually locked (`mu_.try_lock()`) in the matching .cpp.
+  std::set<std::string> mutex_names;
+};
+
+// Pass 1a: collect callback type aliases (run over every file first).
+void collect_callback_aliases(const SourceFile& f, LockSymbols& syms);
+// Pass 1b: collect callback-invoking function names (needs all aliases).
+void collect_callback_invokers(const SourceFile& f, LockSymbols& syms);
+// Pass 1c: collect mutex member/variable names for manual-lock tracking.
+void collect_mutex_names(const SourceFile& f, LockSymbols& syms);
+
+struct LockEdge {
+  std::string from;  // file-qualified mutex key
+  std::string to;
+  std::string file;
+  int line = 0;  // acquisition site of `to` while `from` is held
+};
+
+// Pass 2: per-file scope walk. Emits lock-callback findings directly and
+// appends held->acquired edges for the global cycle check.
+void analyze_lock_scopes(const SourceFile& f, const LockSymbols& syms,
+                         std::vector<LockEdge>& edges,
+                         std::vector<Finding>& findings);
+
+// Cycle detection over the accumulated edges -> `lock-order` findings.
+void check_lock_order(const std::vector<LockEdge>& edges,
+                      std::vector<Finding>& findings);
+
+}  // namespace fedca::analysis

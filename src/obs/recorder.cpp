@@ -66,23 +66,38 @@ void Recorder::maybe_auto_drain(const EventRing& ring) {
   if (ring.size() < ring.capacity() - ring.capacity() / 4) return;
   if (!auto_drain_.load(std::memory_order_relaxed)) return;
   if (!drain_mutex_.try_lock()) return;
-  if (auto_sink_) {
+  // Collect under the lock, deliver after releasing it: the sink is user
+  // code (it takes the TraceCollector's own mutex, and may re-enter the
+  // recorder), so invoking it while drain_mutex_ is held risks deadlock
+  // and lock-order inversion.
+  const Sink sink = auto_sink_;
+  std::vector<RecorderEvent> batch;
+  if (sink) {
     for (std::size_t i = 0; i <= util::ThreadRegistry::kMaxTrackedThreads; ++i) {
       EventRing* r = rings_[i].load(std::memory_order_acquire);
-      if (r != nullptr) r->drain(auto_sink_);
+      if (r != nullptr) r->pop_into(batch);
     }
   }
   drain_mutex_.unlock();
+  for (const RecorderEvent& event : batch) sink(event);
 }
 
 std::size_t Recorder::drain(const Sink& sink) {
-  util::MutexLock lock(drain_mutex_);
-  std::size_t total = 0;
-  for (std::size_t i = 0; i <= util::ThreadRegistry::kMaxTrackedThreads; ++i) {
-    EventRing* ring = rings_[i].load(std::memory_order_acquire);
-    if (ring != nullptr) total += ring->drain(sink);
+  // Same collect-then-deliver split as maybe_auto_drain: drain_mutex_
+  // serializes ring consumption (the SPSC consumer side must be exclusive)
+  // but is released before the first sink call, so a sink that drains,
+  // resets, or re-installs itself cannot deadlock. Per-ring chronology is
+  // preserved by the buffered batch.
+  std::vector<RecorderEvent> batch;
+  {
+    util::MutexLock lock(drain_mutex_);
+    for (std::size_t i = 0; i <= util::ThreadRegistry::kMaxTrackedThreads; ++i) {
+      EventRing* ring = rings_[i].load(std::memory_order_acquire);
+      if (ring != nullptr) ring->pop_into(batch);
+    }
   }
-  return total;
+  for (const RecorderEvent& event : batch) sink(event);
+  return batch.size();
 }
 
 void Recorder::set_auto_drain_sink(Sink sink) {

@@ -37,6 +37,7 @@
 #include <functional>
 #include <memory>
 #include <type_traits>
+#include <vector>
 
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
@@ -113,6 +114,20 @@ class EventRing {
     return n;
   }
 
+  // Consumer side, callback-free: appends everything published so far to
+  // `out` (oldest first). The Recorder collects through this under its
+  // drain lock and invokes the sink only after releasing it, so user sinks
+  // never run while the lock is held.
+  std::size_t pop_into(std::vector<RecorderEvent>& out) {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t n = static_cast<std::size_t>(head - tail);
+    out.reserve(out.size() + n);
+    for (; tail != head; ++tail) out.push_back(slots_[tail % capacity_]);
+    tail_.store(head, std::memory_order_release);
+    return n;
+  }
+
   // Discards everything published so far (tests / reset).
   void discard() {
     tail_.store(head_.load(std::memory_order_acquire), std::memory_order_release);
@@ -148,8 +163,11 @@ class Recorder {
 
   using Sink = std::function<void(const RecorderEvent&)>;
 
-  // Drains every ring into `sink` (oldest-first per ring), serialized
-  // against concurrent drains. Returns the number of events delivered.
+  // Drains every ring into `sink` (oldest-first per ring). Ring
+  // consumption is serialized against concurrent drains; the sink itself
+  // runs after the drain lock is released, so it may safely re-enter the
+  // recorder (drain, reset, set_auto_drain_sink). Returns the number of
+  // events delivered.
   std::size_t drain(const Sink& sink);
 
   // When a producer finds its ring nearly full it may volunteer to drain

@@ -400,9 +400,13 @@ std::pair<std::string, std::string> configure(const std::string& trace_path,
   // Abnormal-termination insurance: whatever outputs are armed get one
   // final flush at process exit, so an aborted run leaves complete,
   // parseable files instead of whatever happened to be on disk when it
-  // died. Registered once, after the collector/registry singletons exist
-  // (this function just touched them), so the handler runs before their
-  // destructors.
+  // died. Every singleton the handler touches must be constructed BEFORE
+  // std::atexit below — atexit handlers and static destructors run as one
+  // reverse sequence, so a registry first constructed later (e.g. by the
+  // drain sink's first counter) would be destroyed before the handler
+  // reads it. The collector and report writer were touched above; the
+  // metrics registry is only enabled by a flag, so touch it explicitly.
+  MetricsRegistry::global();
   static std::once_flag atexit_once;
   std::call_once(atexit_once, [] { std::atexit([] { flush_on_fault(); }); });
   return {trace, metrics};

@@ -73,7 +73,11 @@ namespace detail {
 
 void emit_line(LogLevel level, std::string_view component, std::string_view message) {
   if (const LogSink sink = g_sink.load(std::memory_order_relaxed)) {
-    MutexLock lock(g_write_mutex);
+    // Never invoke the user sink under g_write_mutex: a sink that logs
+    // (e.g. to report its own failure) would re-enter emit_line and
+    // deadlock on the non-recursive mutex. The line is already fully
+    // formatted, so the sink needs no serialization from us; a sink used
+    // from multiple threads must be thread-safe itself.
     sink(level, component, message);
     return;
   }

@@ -39,7 +39,9 @@ std::string_view log_level_name(LogLevel level);
 void log_line(LogLevel level, std::string_view component, std::string_view message);
 
 // Test hook: redirects emitted lines to `sink` instead of stderr; nullptr
-// restores stderr. Not for production use.
+// restores stderr. Not for production use. The sink runs outside the
+// logging lock (so it may log without deadlocking); a sink shared across
+// threads must serialize itself.
 using LogSink = void (*)(LogLevel level, std::string_view component,
                          std::string_view message);
 void set_log_sink_for_testing(LogSink sink);

@@ -1,24 +1,23 @@
 // Failure injection and edge cases across the FedCA stack.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/factory.hpp"
 #include "core/fedca_scheme.hpp"
 #include "fl/experiment.hpp"
+#include "fl/scenario.hpp"
 
 namespace fedca {
 namespace {
 
+// The historical tiny() setup now lives in scenarios/tiny_edge.scn.
+// Scenario tier only — no resolve_options() — so the tests stay hermetic
+// from FEDCA_* env; each test's field tweaks are the programmatic tier.
 fl::ExperimentOptions tiny() {
-  fl::ExperimentOptions options;
-  options.model = nn::ModelKind::kCnn;
-  options.num_clients = 5;
-  options.local_iterations = 8;
-  options.batch_size = 8;
-  options.train_samples = 250;
-  options.test_samples = 64;
-  options.max_rounds = 6;
-  options.seed = 51;
-  return options;
+  static const fl::Scenario scenario = fl::load_scenario_file(
+      std::string(FEDCA_SOURCE_DIR) + "/scenarios/tiny_edge.scn");
+  return scenario.options;
 }
 
 TEST(EdgeCases, ExtremeDirichletSkewStillRuns) {

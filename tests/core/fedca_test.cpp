@@ -2,24 +2,24 @@
 // and end-to-end properties on real federated runs.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/factory.hpp"
 #include "core/fedca_scheme.hpp"
 #include "fl/experiment.hpp"
+#include "fl/scenario.hpp"
 
 namespace fedca {
 namespace {
 
+// The historical tiny_options() setup now lives in scenarios/
+// tiny_fedca.scn. Scenario tier only — no resolve_options() — so the
+// tests stay hermetic from FEDCA_* env; schemes are still built
+// programmatically per test (variants, sweeps).
 fl::ExperimentOptions tiny_options() {
-  fl::ExperimentOptions options;
-  options.model = nn::ModelKind::kCnn;
-  options.num_clients = 6;
-  options.local_iterations = 10;
-  options.batch_size = 8;
-  options.train_samples = 400;
-  options.test_samples = 64;
-  options.max_rounds = 8;
-  options.seed = 99;
-  return options;
+  static const fl::Scenario scenario = fl::load_scenario_file(
+      std::string(FEDCA_SOURCE_DIR) + "/scenarios/tiny_fedca.scn");
+  return scenario.options;
 }
 
 core::FedCaOptions tiny_fedca_options() {

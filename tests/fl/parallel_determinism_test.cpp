@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "data/partition.hpp"
@@ -14,6 +15,7 @@
 #include "fl/async_engine.hpp"
 #include "fl/experiment.hpp"
 #include "fl/round_engine.hpp"
+#include "fl/scenario.hpp"
 #include "fl/scheme.hpp"
 #include "tensor/pool.hpp"
 #include "tensor/simd/dispatch.hpp"
@@ -23,6 +25,16 @@ namespace fedca {
 namespace {
 
 const std::size_t kWorkerCounts[] = {1, 2, 8};
+
+// Shared base of every case: scenarios/parallel_base.scn (scenario tier
+// only — hermetic from FEDCA_* env). Tests sweep seed/rounds/iterations/
+// workers/tensor_pool programmatically on top; the scenario pins the
+// invariant data/model shape.
+fl::ExperimentOptions parallel_base_options() {
+  static const fl::Scenario scenario = fl::load_scenario_file(
+      std::string(FEDCA_SOURCE_DIR) + "/scenarios/parallel_base.scn");
+  return scenario.options;
+}
 
 void expect_states_bit_identical(const nn::ModelState& a, const nn::ModelState& b,
                                  const char* what) {
@@ -48,13 +60,8 @@ struct RoundRunOutput {
 RoundRunOutput run_rounds(nn::ModelKind model, std::uint64_t seed,
                           std::size_t workers, std::size_t rounds,
                           int tensor_pool = 0) {
-  fl::ExperimentOptions options;
+  fl::ExperimentOptions options = parallel_base_options();
   options.model = model;
-  options.num_clients = 5;
-  options.local_iterations = 3;
-  options.batch_size = 8;
-  options.train_samples = 250;
-  options.test_samples = 32;
   options.max_rounds = rounds;
   options.seed = seed;
   options.worker_threads = workers;
@@ -139,15 +146,7 @@ TEST(ParallelDeterminism, SimdTierSweepMatchesScalarAcrossWorkerCounts) {
 // unordered — lookup-only, but one refactor away from hash-order output
 // (exactly what the lint_fedca unordered-iter rule now rejects).
 TEST(ParallelDeterminism, ExperimentSummaryCollectionStableAcrossWorkers) {
-  fl::ExperimentOptions options;
-  options.model = nn::ModelKind::kCnn;
-  options.num_clients = 5;
-  options.local_iterations = 3;
-  options.batch_size = 8;
-  options.train_samples = 250;
-  options.test_samples = 32;
-  options.max_rounds = 2;
-  options.seed = 1234;
+  fl::ExperimentOptions options = parallel_base_options();
 
   std::vector<std::pair<bool, double>> base_collected;
   for (const std::size_t workers : kWorkerCounts) {
@@ -199,14 +198,8 @@ TEST(ParallelDeterminism, FedCaSchemeSweep) {
     nn::ModelState base;
     std::vector<double> base_bytes;
     for (const std::size_t workers : kWorkerCounts) {
-      fl::ExperimentOptions options;
-      options.model = nn::ModelKind::kCnn;
-      options.num_clients = 5;
+      fl::ExperimentOptions options = parallel_base_options();
       options.local_iterations = 4;
-      options.batch_size = 8;
-      options.train_samples = 250;
-      options.test_samples = 32;
-      options.max_rounds = 2;
       options.seed = seed;
       options.worker_threads = workers;
       std::unique_ptr<fl::Scheme> scheme =
@@ -260,13 +253,8 @@ TEST(ParallelDeterminism, FedCaThreeRoundsPoolOnVsOff) {
   std::vector<double> base_bytes;
   for (const int pool : {0, 1}) {
     SCOPED_TRACE(pool ? "pool on" : "pool off");
-    fl::ExperimentOptions options;
-    options.model = nn::ModelKind::kCnn;
-    options.num_clients = 5;
+    fl::ExperimentOptions options = parallel_base_options();
     options.local_iterations = 4;
-    options.batch_size = 8;
-    options.train_samples = 250;
-    options.test_samples = 32;
     options.max_rounds = 3;
     options.seed = 901;
     options.tensor_pool = pool;

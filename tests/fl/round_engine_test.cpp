@@ -4,24 +4,23 @@
 
 #include <cmath>
 
+#include <string>
+
 #include "fl/experiment.hpp"
 #include "fl/round_engine.hpp"
+#include "fl/scenario.hpp"
 #include "fl/scheme.hpp"
 
 namespace fedca {
 namespace {
 
+// The historical small_options() setup now lives in scenarios/
+// engine_smoke.scn. Scenario tier only — no resolve_options() — so the
+// tests stay hermetic from FEDCA_* env.
 fl::ExperimentOptions small_options() {
-  fl::ExperimentOptions options;
-  options.model = nn::ModelKind::kCnn;
-  options.num_clients = 6;
-  options.local_iterations = 6;
-  options.batch_size = 8;
-  options.train_samples = 400;
-  options.test_samples = 64;
-  options.max_rounds = 2;
-  options.seed = 77;
-  return options;
+  static const fl::Scenario scenario = fl::load_scenario_file(
+      std::string(FEDCA_SOURCE_DIR) + "/scenarios/engine_smoke.scn");
+  return scenario.options;
 }
 
 // Scheme whose policy is injectable for testing engine hooks.

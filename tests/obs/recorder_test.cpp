@@ -120,6 +120,48 @@ TEST_F(RecorderTest, EightThreadWrapAccountsEveryDropExactly) {
   EXPECT_EQ(recorder.dropped_total(), kThreads * (kPushes - kCapacity));
 }
 
+TEST_F(RecorderTest, EventRingPopIntoPreservesOrderAndAccounting) {
+  obs::EventRing ring(4);
+  obs::RecorderEvent event{};
+  for (int i = 0; i < 6; ++i) {
+    event.t0 = static_cast<double>(i);
+    ring.try_push(event);
+  }
+  std::vector<obs::RecorderEvent> out;
+  EXPECT_EQ(ring.pop_into(out), 4u);
+  ASSERT_EQ(out.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(out[i].t0, static_cast<double>(i));
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 2u);  // drop-newest accounting survives the pop
+}
+
+// Regression (found by fedca_analyze lock-callback): drain() used to invoke
+// the sink while holding the drain mutex, so a sink that re-entered the
+// recorder (nested drain, sink re-install) deadlocked. Collection is still
+// serialized, but delivery now happens after the lock is released.
+TEST_F(RecorderTest, DrainSinkMayReenterRecorder) {
+  obs::Recorder& recorder = obs::Recorder::global();
+  recorder.set_auto_drain(false);
+
+  obs::RecorderEvent event{};
+  event.kind = obs::RecordKind::kInstant;
+  event.t0 = 1.0;
+  recorder.record(event);
+  event.t0 = 2.0;
+  recorder.record(event);
+
+  std::vector<double> seen;
+  std::size_t nested = 0;
+  const std::size_t delivered =
+      recorder.drain([&](const obs::RecorderEvent& e) {
+        seen.push_back(e.t0);
+        nested += recorder.drain([](const obs::RecorderEvent&) {});
+      });
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(nested, 0u);  // rings were already emptied by the outer drain
+  EXPECT_EQ(seen, (std::vector<double>{1.0, 2.0}));
+}
+
 TEST_F(RecorderTest, AutoDrainKeepsEveryEventPastRingCapacity) {
   constexpr std::size_t kCapacity = 128;
   constexpr std::size_t kPushes = 1000;

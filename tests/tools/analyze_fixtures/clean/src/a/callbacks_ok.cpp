@@ -1,0 +1,34 @@
+// Negative lock-callback cases: invoke after the scope ends, and a lambda
+// written (but not run) under a lock.
+#include <functional>
+
+namespace fixture {
+
+struct MutexLock {
+  explicit MutexLock(int&) {}
+};
+using Mutex = int;
+using Handler = std::function<void()>;
+
+struct Owner {
+  Mutex mu;
+  Handler pending;
+
+  void snapshot_then_call(const Handler& handler) {
+    Handler copy;
+    {
+      MutexLock lock(mu);
+      copy = handler;  // copying under the lock is fine; calling is not
+    }
+    copy();
+  }
+
+  void stash(const Handler& handler) {
+    MutexLock lock(mu);
+    pending = [handler] {
+      handler();  // deferred body: does not run under `mu`
+    };
+  }
+};
+
+}  // namespace fixture

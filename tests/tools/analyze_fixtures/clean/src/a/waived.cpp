@@ -1,0 +1,14 @@
+// Correct waiver use: both placements (same line, line above) suppress the
+// finding, and because each waiver fires, neither is reported as unused.
+#include <cstdlib>
+
+namespace fixture {
+
+int sanctioned() {
+  int a = std::rand();  // analyze:waive(raw-rng) documented fixture exception
+  // analyze:waive(raw-rng) the waiver covers the line below it too
+  int b = std::rand();
+  return a + b;
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Borrowing a device through the DeviceLease seam is the sanctioned path.
+// Lexed, not compiled: the sim types stay undeclared on purpose.
+
+namespace fixture {
+
+double train_one(Cluster& cluster) {
+  DeviceLease lease = cluster.lease(3);
+  ClientDevice& device = *lease;  // statement goes through a lease variable
+  return device.weight;
+}
+
+double inline_lease(Cluster& cluster) {
+  const ClientDevice& device = *cluster.lease(4);  // inline .lease( call
+  return device.weight;
+}
+
+}  // namespace fixture

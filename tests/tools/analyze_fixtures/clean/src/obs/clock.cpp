@@ -1,0 +1,12 @@
+// Observability owns the sanctioned host-clock reads.
+#include <chrono>
+
+namespace fixture {
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace fixture

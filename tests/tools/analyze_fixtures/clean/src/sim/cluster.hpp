@@ -1,0 +1,17 @@
+// The seam file may own ClientDevice storage and expose client().
+#pragma once
+
+#include <vector>
+
+namespace fixture {
+
+struct ClientDevice {
+  double weight = 0.0;
+};
+
+struct Cluster {
+  std::vector<ClientDevice> devices;
+  ClientDevice& client(int id) { return devices[static_cast<size_t>(id)]; }
+};
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// pool.cpp is the one sanctioned raw-allocation site in src/tensor.
+#include <cstdlib>
+
+namespace fixture {
+
+float* pool_grab(int n) { return new float[n]; }
+void* pool_blob() { return malloc(64); }
+
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// ISA-specific headers are allowed inside the dispatch tier.
+#include <immintrin.h>
+
+namespace fixture {
+int width() { return 8; }
+}  // namespace fixture

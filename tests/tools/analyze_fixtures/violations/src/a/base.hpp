@@ -1,0 +1,7 @@
+#pragma once
+
+namespace fixture {
+struct Base {
+  int value = 0;
+};
+}  // namespace fixture

@@ -1,0 +1,49 @@
+// Lock-callback fixtures: a user callback invoked under a held MutexLock,
+// both directly and through a function whose body invokes its callback
+// parameter (one level of propagation).
+#include <functional>
+
+namespace fixture {
+
+struct MutexLock {
+  explicit MutexLock(int&) {}
+};
+using Mutex = int;
+using Handler = std::function<void()>;
+
+struct Ring {
+  // Marks `deliver` as a callback-invoking function.
+  void deliver(const Handler& h) { h(); }
+};
+
+struct Owner {
+  Mutex mu;
+  Ring ring;
+
+  void direct(const Handler& handler) {
+    MutexLock lock(mu);
+    handler();  // expect: lock-callback
+  }
+
+  void propagated(const Handler& handler) {
+    MutexLock lock(mu);
+    ring.deliver(handler);  // expect: lock-callback
+  }
+
+  void after_scope(const Handler& handler) {
+    {
+      MutexLock lock(mu);
+    }
+    handler();  // released first: no finding
+  }
+
+  void deferred(const Handler& handler) {
+    MutexLock lock(mu);
+    // A lambda body does not run under the locks held where it was
+    // written: no finding inside.
+    auto task = [handler] { handler(); };
+    task();  // `task` is not callback-typed; lambdas are deferred work
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "a/cyc2.hpp"
+
+namespace fixture {
+struct Cyc1 {};
+}  // namespace fixture

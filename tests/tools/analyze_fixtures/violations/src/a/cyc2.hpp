@@ -1,0 +1,7 @@
+#pragma once
+
+#include "a/cyc1.hpp"  // expect: include-cycle
+
+namespace fixture {
+struct Cyc2 {};
+}  // namespace fixture

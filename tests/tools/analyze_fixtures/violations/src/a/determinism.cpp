@@ -1,0 +1,39 @@
+// Determinism fixtures: every raw-rng spelling, a host-clock read, and a
+// pointer-keyed ordered container.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+
+namespace fixture {
+
+struct Node {
+  int id = 0;
+};
+
+int entropy_soup() {
+  int sum = std::rand();              // expect: raw-rng
+  srand(42);                          // expect: raw-rng
+  std::random_device device;          // expect: raw-rng
+  sum += static_cast<int>(time(nullptr));  // expect: raw-rng
+  sum += static_cast<int>(device());
+  return sum;
+}
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())  // expect: wall-clock
+      .count();
+}
+
+int pointer_keyed(const Node& a, const Node& b) {
+  std::map<const Node*, int> order;  // expect: pointer-key
+  order[&a] = 1;
+  order[&b] = 2;
+  int total = 0;
+  for (const auto& entry : order) total += entry.second;
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// ISA-specific header outside the dispatch tier.
+#include <immintrin.h>  // expect: raw-intrinsics
+
+namespace fixture {
+int width() { return 8; }
+}  // namespace fixture

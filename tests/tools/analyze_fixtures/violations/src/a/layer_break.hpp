@@ -1,0 +1,7 @@
+#pragma once
+
+#include "b/impl.hpp"  // expect: layering
+
+namespace fixture {
+using Broken = Impl;
+}  // namespace fixture

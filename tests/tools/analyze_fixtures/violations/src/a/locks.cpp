@@ -1,0 +1,32 @@
+// Lock-order fixtures: an A->B / B->A inversion across two functions, and
+// re-acquisition of a mutex the scope already holds.
+#include "a/base.hpp"
+
+namespace fixture {
+
+struct MutexLock {
+  explicit MutexLock(int&) {}
+};
+using Mutex = int;
+
+struct Inversion {
+  Mutex mu_a;
+  Mutex mu_b;
+
+  void forward() {
+    MutexLock first(mu_a);
+    MutexLock second(mu_b);
+  }
+
+  void backward() {
+    MutexLock first(mu_b);
+    MutexLock second(mu_a);  // expect: lock-order
+  }
+
+  void reacquire() {
+    MutexLock first(mu_a);
+    MutexLock again(mu_a);  // expect: lock-order
+  }
+};
+
+}  // namespace fixture

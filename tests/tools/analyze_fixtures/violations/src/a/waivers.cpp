@@ -1,0 +1,17 @@
+// Waiver-misuse fixtures: naming an unknown rule, and a waiver that
+// suppresses nothing because it sits too far from any finding.
+#include <cstdlib>
+
+namespace fixture {
+
+int misuse() {
+  // analyze:waive(totally-made-up-rule)  expect: waiver
+  int x = 1;
+
+  // analyze:waive(raw-rng)  expect: waiver
+  int y = 2;  // two lines below the waiver: out of range, so it is unused
+  int z = std::rand();  // expect: raw-rng
+  return x + y + z;
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+#pragma once
+
+// b -> a is on the allow list: no finding for this include.
+#include "a/base.hpp"
+
+namespace fixture {
+struct Impl : Base {
+  int extra = 0;
+};
+}  // namespace fixture

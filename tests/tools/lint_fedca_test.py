@@ -10,6 +10,7 @@ violations" (not just that it happens to pass on today's tree).
 Run directly (python3 tests/tools/lint_fedca_test.py) or via ctest.
 """
 
+import json
 import os
 import subprocess
 import sys
@@ -20,10 +21,13 @@ REPO_ROOT = os.path.dirname(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 LINTER = os.path.join(REPO_ROOT, "tools", "lint_fedca.py")
 
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+import lint_fedca  # noqa: E402  (path set up above)
 
-def run_linter(root):
+
+def run_linter(root, *extra):
     proc = subprocess.run(
-        [sys.executable, LINTER, "--root", root],
+        [sys.executable, LINTER, "--root", root] + list(extra),
         capture_output=True, text=True)
     return proc.returncode, proc.stdout + proc.stderr
 
@@ -68,6 +72,14 @@ class RawRngRule(LintFixtureCase):
         self.write("examples/bad.cpp",
                    "std::random_device rd;\n")
         self.assert_flags("raw-rng")
+
+    def test_string_literal_is_clean(self):
+        # Forbidden spellings inside string literals are data, not code —
+        # e.g. a linter's own diagnostic messages.
+        self.write("src/fl/msg.cpp",
+                   'const char* kMsg = "std::rand is banned here";\n'
+                   'const char* kTwo = "call", *kRng = "std::rand";\n')
+        self.assert_clean("string-literal hits must not fire")
 
     def test_clean_seeded_rng(self):
         self.write("src/fl/good.cpp",
@@ -390,11 +402,15 @@ class ScenarioHardcodeRule(LintFixtureCase):
                    "ExperimentOptions defaults;\n")
         self.assert_clean("src/ is outside scenario-hardcode's scope")
 
-    def test_legacy_file_exempt(self):
-        # Frozen pre-DSL offenders stay green until they are converted.
+    def test_legacy_list_is_burned_down(self):
+        # The pre-DSL offender list is empty (every suite now loads a
+        # committed scenario): a formerly exempt file is linted like any
+        # other test, and the list must stay empty.
+        self.assertEqual(lint_fedca.SCENARIO_HARDCODE_LEGACY, set())
         self.write("tests/fl/round_engine_test.cpp",
                    "fl::ExperimentOptions options;\n")
-        self.assert_clean("frozen legacy list must stay exempt")
+        self.assert_flags("scenario-hardcode",
+                          "formerly legacy files are no longer exempt")
 
     def test_waiver_honored(self):
         self.write("tests/fl/waived_test.cpp",
@@ -428,6 +444,35 @@ class CliBehaviour(LintFixtureCase):
         # The committed tree must satisfy its own invariants.
         code, out = run_linter(REPO_ROOT)
         self.assertEqual(code, 0, f"repo tree has lint findings:\n{out}")
+
+
+class JsonOutput(LintFixtureCase):
+    # --json emits the same array shape as fedca_analyze --json, so one
+    # consumer can merge both tiers' findings.
+
+    def run_json(self):
+        proc = subprocess.run(
+            [sys.executable, LINTER, "--root", self.root, "--json"],
+            capture_output=True, text=True)
+        return proc.returncode, json.loads(proc.stdout)
+
+    def test_findings_shape_and_exit_code(self):
+        self.write("src/fl/bad.cpp", "std::random_device rd;\n")
+        code, findings = self.run_json()
+        self.assertEqual(code, 1)
+        self.assertEqual(len(findings), 1)
+        entry = findings[0]
+        self.assertEqual(sorted(entry), ["file", "line", "message", "rule"])
+        self.assertEqual(entry["rule"], "raw-rng")
+        self.assertEqual(entry["file"], "src/fl/bad.cpp")
+        self.assertEqual(entry["line"], 1)
+        self.assertIn("util::Rng", entry["message"])
+
+    def test_clean_tree_is_empty_array(self):
+        self.write("src/fl/fine.cpp", "int x = 0;\n")
+        code, findings = self.run_json()
+        self.assertEqual(code, 0)
+        self.assertEqual(findings, [])
 
 
 if __name__ == "__main__":

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Contract tests for tools/run_clang_tidy.py's baseline hygiene gate.
+
+The gate must reject baseline entries naming files that no longer exist
+(or malformed entries) BEFORE the clang-tidy-missing SKIP path — dead
+debt is detectable without the binary and must not outlive its file.
+These tests force the no-binary path (CLANG_TIDY points at a nonexistent
+program) so they are hermetic from whatever the host has installed.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+RUNNER = os.path.join(REPO_ROOT, "tools", "run_clang_tidy.py")
+
+# A first-party file that exists for as long as the repo does.
+EXISTING = "src/fl/experiment.cpp"
+
+
+def run_gate(baseline_path):
+    env = dict(os.environ, CLANG_TIDY="no-such-clang-tidy-binary")
+    proc = subprocess.run(
+        [sys.executable, RUNNER, "--baseline", baseline_path],
+        capture_output=True, text=True, env=env, timeout=120)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+class BaselineHygiene(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory(prefix="tidy_baseline_")
+        self.addCleanup(self._tmp.cleanup)
+
+    def write_baseline(self, *entries):
+        path = os.path.join(self._tmp.name, "baseline.txt")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("# test baseline\n")
+            for entry in entries:
+                f.write(entry + "\n")
+        return path
+
+    def test_missing_file_entry_fails_without_clang_tidy(self):
+        path = self.write_baseline("src/no_such_file.cpp [bugprone-foo]")
+        code, out = run_gate(path)
+        self.assertEqual(code, 1, out)
+        self.assertIn("dead: src/no_such_file.cpp [bugprone-foo]", out)
+
+    def test_malformed_entry_fails(self):
+        # No '[check]' suffix: can never match a normalized finding.
+        path = self.write_baseline(EXISTING)
+        code, out = run_gate(path)
+        self.assertEqual(code, 1, out)
+        self.assertIn("dead:", out)
+
+    def test_existing_file_entry_passes_hygiene(self):
+        # Hygiene passes; with no clang-tidy available the gate then SKIPs.
+        path = self.write_baseline(f"{EXISTING} [modernize-use-emplace]")
+        code, out = run_gate(path)
+        self.assertEqual(code, 0, out)
+        self.assertIn("SKIP", out)
+
+    def test_dead_entry_reported_alongside_live_ones(self):
+        path = self.write_baseline(
+            f"{EXISTING} [modernize-use-emplace]",
+            "tests/gone_test.cpp [readability-container-contains]")
+        code, out = run_gate(path)
+        self.assertEqual(code, 1, out)
+        self.assertIn("dead: tests/gone_test.cpp", out)
+        self.assertNotIn(f"dead: {EXISTING}", out)
+
+    def test_committed_baseline_is_hygienic(self):
+        # The real baseline (comments-only today) must always pass.
+        code, out = run_gate(
+            os.path.join(REPO_ROOT, "tools", "clang_tidy_baseline.txt"))
+        self.assertEqual(code, 0, out)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -76,5 +76,33 @@ TEST(Logging, LevelChangeMidStreamCannotTearLine) {
   util::set_log_level(saved);
 }
 
+namespace reentrant_sink {
+std::vector<std::string> lines;
+void capture(util::LogLevel level, std::string_view component,
+             std::string_view message) {
+  lines.emplace_back(message);
+  // A sink that logs (e.g. to report its own failure) re-enters emit_line.
+  if (component != "sink") util::log_line(level, "sink", "reentered");
+}
+}  // namespace reentrant_sink
+
+// Regression (found by fedca_analyze lock-callback): the sink used to run
+// under the logging write mutex, so a sink that logged again deadlocked on
+// the non-recursive Mutex. Sinks now run outside the lock.
+TEST(Logging, SinkMayLogWithoutDeadlock) {
+  const util::LogLevel saved = util::log_level();
+  reentrant_sink::lines.clear();
+  util::set_log_sink_for_testing(&reentrant_sink::capture);
+  util::set_log_level(util::LogLevel::kInfo);
+
+  util::log_line(util::LogLevel::kInfo, "test", "outer");
+  ASSERT_EQ(reentrant_sink::lines.size(), 2u);
+  EXPECT_EQ(reentrant_sink::lines[0], "outer");
+  EXPECT_EQ(reentrant_sink::lines[1], "reentered");
+
+  util::set_log_sink_for_testing(nullptr);
+  util::set_log_level(saved);
+}
+
 }  // namespace
 }  // namespace fedca

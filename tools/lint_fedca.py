@@ -93,6 +93,7 @@ otherwise, 2 on usage errors.
 """
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -166,14 +167,10 @@ CLIENT_CONTAINER_SEAM = (
 SCENARIO_HARDCODE = re.compile(r"\bExperimentOptions\s+\w+\s*(?:;|\{|=\s*\{)")
 
 # Tests that hand-built ExperimentOptions before the scenario DSL existed.
-# Frozen: convert a file to a loaded scenario to remove it; never add to
-# this list — new tests load scenarios/*.scn.
-SCENARIO_HARDCODE_LEGACY = {
-    "tests/core/edge_cases_test.cpp",
-    "tests/core/fedca_test.cpp",
-    "tests/fl/parallel_determinism_test.cpp",
-    "tests/fl/round_engine_test.cpp",
-}
+# Now empty: every legacy suite loads a committed scenarios/*.scn base.
+# Never add to this set — new tests load scenarios; one-off constructions
+# in non-test code waive with // lint:scenario.
+SCENARIO_HARDCODE_LEGACY = set()
 
 WAIVERS = {
     "raw-rng": "lint:rng",
@@ -187,14 +184,32 @@ WAIVERS = {
 }
 
 CXX_EXT = (".cpp", ".hpp", ".cc", ".h")
+# analyze_fixtures is fedca_analyze's test data — trees deliberately
+# seeded with violations (and sanctioned-path negatives); linting them
+# would re-flag the seeds.
 SKIP_DIR_PARTS = {".git", "build", "build-tsan", "build-asan", "build-sa",
-                  "results", "third_party"}
+                  "results", "third_party", "analyze_fixtures"}
 
 
 def is_comment_or_string_hit(line, match_start):
-    """Cheap suppression: a hit strictly inside a // comment is not code."""
+    """Cheap suppression: a hit inside a // comment or a string literal is
+    not code. Strings are detected by quote parity before the hit (escaped
+    quotes skipped) — line-local, so multi-line raw strings still leak
+    through; the token-level fedca_analyze tier handles those exactly."""
     comment = line.find("//")
-    return comment != -1 and comment < match_start
+    if comment != -1 and comment < match_start:
+        return True
+    quotes = 0
+    i = 0
+    while i < match_start:
+        ch = line[i]
+        if ch == "\\":
+            i += 2
+            continue
+        if ch == '"':
+            quotes += 1
+        i += 1
+    return quotes % 2 == 1
 
 
 class Finding:
@@ -412,6 +427,10 @@ def main():
                         help="tree to lint (default: the repo this script lives in)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule names and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON array of "
+                             "{rule, file, line, message} (the same shape "
+                             "fedca_analyze --json emits)")
     args = parser.parse_args()
 
     if args.list_rules:
@@ -428,6 +447,12 @@ def main():
         return 2
 
     findings = lint_tree(root)
+    if args.json:
+        print(json.dumps(
+            [{"rule": f.rule, "file": f.path, "line": f.line_no,
+              "message": f.message} for f in findings],
+            indent=2))
+        return 1 if findings else 0
     for f in findings:
         print(f)
     if findings:

@@ -28,6 +28,25 @@ if [ "${FEDCA_LINT:-1}" != "0" ]; then
   fi
 fi
 
+# Semantic analyzer: the token-level static-analysis tier (include/layering
+# DAG against tools/analyze/layers.spec, lock-order graph + callbacks-under-
+# lock, scope-aware determinism/seam rules). Unlike the regex linter above
+# it folds in the build's compile_commands.json, so a missing database is a
+# configuration error (the binary exits 2), not a silent skip.
+# FEDCA_ANALYZE=0 skips the stage.
+if [ "${FEDCA_ANALYZE:-1}" != "0" ]; then
+  echo "===== analyze =====" | tee /root/repo/analyze_output.txt
+  cmake --build build --target fedca_analyze -j "$(nproc)" \
+    >>/root/repo/analyze_output.txt 2>&1 \
+    || { echo "fedca_analyze build FAILED (see analyze_output.txt)"; exit 1; }
+  # No pipefail in sh: capture the analyzer's own status, then echo.
+  build/tools/analyze/fedca_analyze --root . --build build \
+    --spec tools/analyze/layers.spec >/root/repo/analyze_findings.txt 2>&1
+  analyze_status=$?
+  cat /root/repo/analyze_findings.txt | tee -a /root/repo/analyze_output.txt
+  [ "$analyze_status" -eq 0 ] || exit "$analyze_status"
+fi
+
 ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
 mkdir -p /root/repo/results
 for b in build/bench/*; do

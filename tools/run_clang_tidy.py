@@ -13,6 +13,11 @@ edits that shift lines do not churn the baseline.
 
 Usage:
   run_clang_tidy.py [--build-dir DIR] [--update-baseline] [--jobs N]
+                    [--baseline FILE]
+
+Baseline hygiene is checked before anything else — an entry naming a file
+that no longer exists (or a malformed entry) fails the gate even when
+clang-tidy itself is not installed, so dead debt cannot linger.
 
 Environment:
   CLANG_TIDY  explicit clang-tidy binary (default: first of clang-tidy,
@@ -127,10 +132,10 @@ def run_tidy(binary, files, build_dir, jobs):
     return findings
 
 
-def load_baseline():
-    if not os.path.isfile(BASELINE_PATH):
+def load_baseline(path):
+    if not os.path.isfile(path):
         return set()
-    with open(BASELINE_PATH, "r", encoding="utf-8") as f:
+    with open(path, "r", encoding="utf-8") as f:
         return {
             line.strip()
             for line in f
@@ -138,8 +143,27 @@ def load_baseline():
         }
 
 
-def write_baseline(findings):
-    with open(BASELINE_PATH, "w", encoding="utf-8") as f:
+BASELINE_ENTRY_RE = re.compile(r"^(?P<path>\S+)\s+\[(?P<check>[\w.,-]+)\]$")
+
+
+def baseline_dead_files(baseline):
+    """Entries whose file no longer exists: dead debt that must be pruned.
+
+    Runs even when clang-tidy itself is unavailable — a deleted file can
+    never burn its entry down, so leaving it rots the ratchet silently.
+    Malformed entries are reported the same way (they can never match a
+    normalized finding either).
+    """
+    dead = []
+    for entry in sorted(baseline):
+        m = BASELINE_ENTRY_RE.match(entry)
+        if not m or not os.path.isfile(os.path.join(REPO_ROOT, m.group("path"))):
+            dead.append(entry)
+    return dead
+
+
+def write_baseline(findings, path):
+    with open(path, "w", encoding="utf-8") as f:
         f.write(
             "# clang-tidy suppression baseline — frozen debt, never grows.\n"
             "# One 'relpath [check]' per line; regenerate with\n"
@@ -158,7 +182,21 @@ def main():
                         help="rewrite the baseline from current findings")
     parser.add_argument("--jobs", type=int,
                         default=max(1, multiprocessing.cpu_count() - 1))
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help="baseline file (default: tools/clang_tidy_baseline.txt)")
     args = parser.parse_args()
+
+    # Baseline hygiene gates BEFORE the clang-tidy-missing SKIP: dead
+    # entries are detectable without the binary and must not survive it.
+    baseline = load_baseline(args.baseline)
+    dead = baseline_dead_files(baseline)
+    if dead:
+        print(f"run_clang_tidy: FAIL: {len(dead)} baseline entr"
+              f"{'y names' if len(dead) == 1 else 'ies name'} missing or "
+              "malformed files — prune them:", file=sys.stderr)
+        for entry in dead:
+            print(f"  dead: {entry}", file=sys.stderr)
+        return 1
 
     binary = find_clang_tidy()
     if binary is None:
@@ -178,11 +216,10 @@ def main():
                         args.jobs)
 
     if args.update_baseline:
-        write_baseline(findings)
+        write_baseline(findings, args.baseline)
         print(f"run_clang_tidy: baseline rewritten with {len(findings)} entries")
         return 0
 
-    baseline = load_baseline()
     new = sorted(findings - baseline)
     stale = sorted(baseline - findings)
     if stale:
